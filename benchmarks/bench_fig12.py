@@ -1,0 +1,43 @@
+"""Figure 12 — throughput of IChannels vs the four baselines.
+
+Paper claims regenerated here (all channels and baselines run on the
+same simulated Cannon Lake, so the ratios are measured, not quoted):
+* IccThreadCovert ~= 2x NetSpectre (two bits per transaction vs one);
+* IccSMTcovert/IccCoresCovert ~= 145x DFScovert, 47x TurboCC and
+  24x POWERT (paper: 2899/20, 2899/61, 2899/122).
+"""
+
+from conftest import banner
+
+from repro.analysis.experiments import fig12_throughput
+from repro.analysis.figures import ascii_bars
+
+
+def test_bench_fig12(benchmark):
+    result = benchmark.pedantic(fig12_throughput, rounds=1, iterations=1)
+
+    banner("Figure 12: measured channel throughputs (bit/s)")
+    bars = sorted(result.throughput_bps.items(), key=lambda kv: -kv[1])
+    print(ascii_bars(bars, unit=" bps"))
+
+    print("\nRatios (ours / baseline):")
+    rows = [
+        ("IccThreadCovert / NetSpectre",
+         result.ratio("IccThreadCovert", "NetSpectre"), 2.0),
+        ("IccSMTcovert / TurboCC",
+         result.ratio("IccSMTcovert", "TurboCC"), 47.0),
+        ("IccSMTcovert / DFScovert",
+         result.ratio("IccSMTcovert", "DFScovert"), 145.0),
+        ("IccSMTcovert / POWERT",
+         result.ratio("IccSMTcovert", "POWERT"), 24.0),
+    ]
+    for label, measured, paper in rows:
+        print(f"  {label:32s} measured {measured:6.1f}x   paper {paper:5.1f}x")
+
+    for name, bps in result.throughput_bps.items():
+        benchmark.extra_info[name] = round(bps, 1)
+    assert abs(result.ratio("IccThreadCovert", "NetSpectre") - 2.0) < 0.6
+    assert result.ratio("IccSMTcovert", "TurboCC") > 30.0
+    assert result.ratio("IccSMTcovert", "DFScovert") > 100.0
+    assert result.ratio("IccSMTcovert", "POWERT") > 20.0
+    assert all(ber == 0.0 for ber in result.ber.values())

@@ -1,0 +1,37 @@
+"""Neighbour-noise matrix: channel BER vs realistic co-running apps.
+
+Extends Section 6.3's single 7-zip data point into a matrix over a
+workload zoo (browser-like, 7-zip-like, video-codec-like, ML-inference-
+like).  The emergent result is sharper than "heavier neighbours are
+worse": what hurts is the neighbour's *guardband transition rate*, not
+its intensity — a codec holding a steady AVX2 grant shifts the rail once
+and calibration absorbs it, while a bursty browser re-triggers
+transitions near the channel's own slot rate.
+"""
+
+from conftest import banner
+
+from repro.analysis.experiments import neighbour_noise_matrix
+from repro.analysis.figures import format_table
+
+
+def test_bench_neighbours(benchmark):
+    result = benchmark.pedantic(neighbour_noise_matrix, rounds=1, iterations=1)
+
+    banner("Channel BER vs co-running neighbour application")
+    rows = []
+    for channel in result.channels:
+        rows.append([channel] + [
+            f"{result.ber[(channel, neighbour)]:.3f}"
+            for neighbour in result.neighbours
+        ])
+    print(format_table(["channel"] + result.neighbours, rows))
+    print("\n(paper anchor: BER < 0.07 beside 7-zip; the rest of the "
+          "matrix is a beyond-paper study)")
+
+    for channel in result.channels:
+        assert result.ber[(channel, "idle")] == 0.0
+        assert result.ber[(channel, "7-zip")] < 0.07   # the paper's bound
+        benchmark.extra_info[f"{channel}_ml"] = result.ber[(channel, "ml-inference")]
+    # Every cell stays within usable range even for the hostile server.
+    assert max(result.ber.values()) < 0.25

@@ -1,0 +1,67 @@
+"""Sensitivity sweeps: the design space around the paper's parameters.
+
+Not a paper artifact — a beyond-the-paper study charting how the channel
+degrades as the hardware parameters move, which quantifies the
+mitigation continuum:
+
+* VR slew rate: level separation halves per slew doubling; at LDO
+  speeds the ladder collapses (the per-core-VR mitigation's fast-ramp
+  half);
+* reset-time: throughput scales inversely (the hysteresis dominates the
+  transaction cycle);
+* load-line impedance: Equation 1 makes every level gap proportional to
+  R_LL — a stiff PDN is itself a mitigation.
+"""
+
+from conftest import banner
+
+from repro.analysis.figures import format_table
+from repro.analysis.sensitivity import (
+    sweep_load_line,
+    sweep_reset_time,
+    sweep_vr_slew,
+    theoretical_reset_limited_bps,
+)
+
+
+def run_all_sweeps():
+    return {
+        "slew": sweep_vr_slew(),
+        "reset": sweep_reset_time(),
+        "rll": sweep_load_line(),
+    }
+
+
+def test_bench_sensitivity(benchmark):
+    result = benchmark.pedantic(run_all_sweeps, rounds=1, iterations=1)
+
+    banner("Sweep 1: level separation vs VR slew rate (Cannon Lake base)")
+    rows = [[f"{p.parameter:g} mV/us", f"{p.min_separation_tsc:.0f}",
+             "yes" if p.usable else "no"]
+            for p in result["slew"]]
+    print(format_table(["slew rate", "min level gap (TSC)", "usable"], rows))
+
+    banner("Sweep 2: throughput vs reset-time (hysteresis window)")
+    rows = [[f"{p.parameter:g} us", f"{p.throughput_bps:.0f} b/s",
+             f"{theoretical_reset_limited_bps(p.parameter):.0f} b/s"]
+            for p in result["reset"]]
+    print(format_table(["reset-time", "measured", "theory bound"], rows))
+
+    banner("Sweep 3: level separation vs load-line impedance")
+    rows = [[f"{p.parameter:g} mOhm", f"{p.min_separation_tsc:.0f}",
+             "yes" if p.usable else "no"]
+            for p in result["rll"]]
+    print(format_table(["R_LL", "min level gap (TSC)", "usable"], rows))
+
+    slew_points = {p.parameter: p for p in result["slew"]}
+    benchmark.extra_info["sep_at_mbvr_slew"] = round(
+        slew_points[1.25].min_separation_tsc)
+    benchmark.extra_info["sep_at_ldo_slew"] = round(
+        slew_points[100.0].min_separation_tsc)
+    # Shape assertions.
+    seps = [p.min_separation_tsc for p in result["slew"]]
+    assert all(b < a for a, b in zip(seps, seps[1:]))
+    thr = [p.throughput_bps for p in result["reset"]]
+    assert all(b < a for a, b in zip(thr, thr[1:]))
+    rll_seps = [p.min_separation_tsc for p in result["rll"]]
+    assert rll_seps[0] < rll_seps[-1]

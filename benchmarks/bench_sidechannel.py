@@ -1,0 +1,40 @@
+"""Section 6.5 — the side-channel variant, quantified.
+
+The paper states the covert-channel PoCs demonstrate, with minimal
+changes, a synthetic side channel that leaks a victim's instruction
+classes, and leaves extraction of real secrets to future work.  This
+bench measures both halves on the simulator: per-class inference
+accuracy (with the full confusion matrix), and end-to-end key recovery
+from a victim whose code path depends on key bits.
+"""
+
+from conftest import banner
+
+from repro.analysis.experiments import side_channel_inference
+from repro.analysis.figures import format_table
+
+
+def test_bench_sidechannel(benchmark):
+    result = benchmark.pedantic(side_channel_inference, rounds=1, iterations=1)
+
+    banner("Section 6.5: instruction-class inference accuracy")
+    for location, accuracy in result.accuracy.items():
+        print(f"\n{location}: {accuracy * 100:.0f}% of victim phases "
+              f"classified correctly")
+        matrix = result.confusion[location]
+        wrong = [(a, b, n) for (a, b), n in matrix.items() if a != b]
+        if wrong:
+            print(format_table(["victim ran", "spy inferred", "count"],
+                               [[a, b, n] for a, b, n in wrong]))
+        else:
+            print("  (no confusions)")
+
+    banner("Key recovery from key-dependent code paths")
+    for location, bits in result.key_bits_recovered.items():
+        print(f"{location}: {bits}/{result.key_bits_total} key bits recovered")
+
+    for location, accuracy in result.accuracy.items():
+        benchmark.extra_info[f"accuracy_{location}"] = round(accuracy, 3)
+        assert accuracy >= 0.8, location
+    for location, bits in result.key_bits_recovered.items():
+        assert bits >= result.key_bits_total - 1, location

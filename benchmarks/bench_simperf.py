@@ -1,0 +1,28 @@
+"""Simulator performance: how fast the simulation itself runs.
+
+Not a paper artifact — a regression guard on the event-driven engine's
+efficiency.  A full covert-channel transfer (calibration + 16 symbols,
+~18 ms of simulated time, hundreds of voltage transitions) should stay
+in the tens-of-milliseconds range of host time.
+"""
+
+from repro import System, cannon_lake_i3_8121u
+from repro.core import IccThreadCovert
+
+
+def one_transfer():
+    system = System(cannon_lake_i3_8121u())
+    report = IccThreadCovert(system).transfer(b"\x5a\xc3\x0f\x3c")
+    return system, report
+
+
+def test_bench_simperf(benchmark):
+    system, report = benchmark.pedantic(one_transfer, rounds=5, iterations=1)
+    simulated_s = system.now / 1e9
+    benchmark.extra_info["simulated_ms"] = round(system.now / 1e6, 1)
+    benchmark.extra_info["events"] = system.engine.events_run
+    assert report.ber == 0.0
+    # The engine must stay event-driven: a multi-ms simulation takes a
+    # few hundred events, not millions.
+    assert system.engine.events_run < 20_000
+    assert simulated_s > 0.01  # really simulated multiple milliseconds

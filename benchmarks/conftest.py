@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harnesses.
+
+Each ``bench_*`` module regenerates one of the paper's tables or figures
+(see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
+paper-vs-measured record).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the regenerated rows/series; without it they are captured
+but the benchmark timings and ``extra_info`` summaries still print.
+"""
+
+from __future__ import annotations
+
+
+def banner(title: str) -> None:
+    """Print a section header for a regenerated artifact."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

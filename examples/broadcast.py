@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Broadcast: one sender feeding two receivers per transaction.
+
+A single PHI loop triggers all the paper's side effects at once: the
+sender's voltage transition co-throttles its SMT sibling
+(Multi-Throttling-SMT) *and* serialises against the other core's
+transition (Multi-Throttling-Cores).  One transaction therefore carries
+the same two bits to a receiver on the sibling hardware thread and a
+receiver on the other physical core simultaneously — doubling the
+audience at zero extra sender cost.
+
+Run::
+
+    python examples/broadcast.py
+"""
+
+from repro import System, cannon_lake_i3_8121u
+from repro.core import ChannelLocation, IccBroadcast
+
+MESSAGE = b"multicast"
+
+
+def main() -> None:
+    system = System(cannon_lake_i3_8121u())
+    broadcast = IccBroadcast(system, sender_core=0, cross_core=1)
+
+    print(f"message: {MESSAGE!r} ({len(MESSAGE) * 8} bits)")
+    print("sender  : core 0, SMT slot 0")
+    print("receiver A: core 0, SMT slot 1 (co-throttled sibling)")
+    print("receiver B: core 1 (transition queued behind the sender's)\n")
+
+    report = broadcast.transfer(MESSAGE)
+    for location in IccBroadcast.LOCATIONS:
+        received = report.received[location]
+        status = "OK" if received == MESSAGE else "CORRUPTED"
+        print(f"{location.value:14s}: {received!r}  "
+              f"BER={report.ber(location):.3f}  [{status}]")
+
+    slots = len(report.symbols_sent)
+    wall_ms = (report.end_ns - report.start_ns) / 1e6
+    print(f"\n{slots} transactions in {wall_ms:.1f} ms simulated — both "
+          f"receivers decoded from the SAME sender loops.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Quickstart: send a secret over each of the three IChannels.
+
+Builds a simulated Cannon Lake (i3-8121U) system, establishes the three
+covert channels the paper demonstrates — same hardware thread, across
+SMT threads, and across physical cores — and transfers a short secret
+over each, printing the decoded payload, bit error rate and throughput.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from repro import System, cannon_lake_i3_8121u
+from repro.core import IccCoresCovert, IccSMTcovert, IccThreadCovert
+
+SECRET = b"IChannels!"
+
+
+def main() -> None:
+    channels = [
+        ("IccThreadCovert (same hardware thread)", IccThreadCovert),
+        ("IccSMTcovert    (across SMT threads)", IccSMTcovert),
+        ("IccCoresCovert  (across physical cores)", IccCoresCovert),
+    ]
+    print(f"secret: {SECRET!r} ({len(SECRET) * 8} bits)\n")
+    for label, channel_cls in channels:
+        # Each channel gets its own freshly booted machine; the first
+        # transfer auto-calibrates by sending known training symbols.
+        system = System(cannon_lake_i3_8121u())
+        channel = channel_cls(system)
+        report = channel.transfer(SECRET)
+        status = "OK" if report.received == SECRET else "CORRUPTED"
+        print(f"{label}")
+        print(f"  received   : {report.received!r}  [{status}]")
+        print(f"  bit errors : {report.bit_errors}/{report.bits} "
+              f"(BER {report.ber:.3f})")
+        print(f"  throughput : {report.throughput_bps:,.0f} bit/s "
+              f"(paper reports ~2.9 kbit/s)")
+        print(f"  wall time  : {report.elapsed_ns / 1e6:.2f} ms simulated\n")
+
+
+if __name__ == "__main__":
+    main()

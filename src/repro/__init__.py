@@ -1,0 +1,58 @@
+"""IChannels (ISCA 2021) reproduction.
+
+A behavioural simulation of current-management mechanisms in modern Intel
+client processors and the covert channels — IccThreadCovert, IccSMTcovert
+and IccCoresCovert — that exploit their multi-level throttling side
+effects, together with the baselines (NetSpectre, TurboCC, DFScovert,
+PowerT) and the paper's mitigations.
+
+Quickstart::
+
+    from repro import System, cannon_lake_i3_8121u
+    from repro.core import IccThreadCovert
+
+    system = System(cannon_lake_i3_8121u())
+    channel = IccThreadCovert(system)
+    report = channel.transfer(b"hi")
+    assert report.received == b"hi"
+"""
+
+from repro.errors import (
+    CalibrationError,
+    ConfigError,
+    MeasurementError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from repro.isa import IClass, Loop
+from repro.soc import (
+    ExecResult,
+    System,
+    cannon_lake_i3_8121u,
+    coffee_lake_i7_9700k,
+    haswell_i7_4770k,
+    preset,
+)
+from repro.soc.system import SystemOptions
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CalibrationError",
+    "ConfigError",
+    "MeasurementError",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+    "IClass",
+    "Loop",
+    "ExecResult",
+    "System",
+    "SystemOptions",
+    "cannon_lake_i3_8121u",
+    "coffee_lake_i7_9700k",
+    "haswell_i7_4770k",
+    "preset",
+    "__version__",
+]

@@ -1,0 +1,10 @@
+"""Experiment runners and rendering for the paper's tables and figures.
+
+:mod:`repro.analysis.experiments` has one entry point per paper artifact
+(``fig6`` ... ``fig14``, ``table1``, ``table2``); the benchmark harnesses
+under ``benchmarks/`` call these and print the regenerated rows/series.
+"""
+
+from repro.analysis.figures import ascii_bars, ascii_series, format_table
+
+__all__ = ["ascii_bars", "ascii_series", "format_table"]

@@ -1,0 +1,129 @@
+"""Sensitivity studies beyond the paper's figures.
+
+The paper establishes the mechanism at fixed hardware parameters; these
+sweeps chart how the channel degrades as the parameters move — the
+design space between "vulnerable MBVR client part" and "mitigated
+per-core-LDO part":
+
+* :func:`sweep_vr_slew` — level separation vs regulator slew rate (the
+  continuum behind the per-core-VR/LDO mitigation);
+* :func:`sweep_reset_time` — throughput vs the hysteresis window (the
+  protocol pays one reset-time per transaction);
+* :func:`sweep_load_line` — level separation vs load-line impedance
+  (Equation 1 scales every guardband with R_LL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.calibration import Calibrator
+from repro.core.channel import ChannelConfig
+from repro.core.thread_channel import IccThreadCovert
+from repro.errors import CalibrationError
+from repro.soc.config import ProcessorConfig, cannon_lake_i3_8121u
+from repro.soc.system import System
+from repro.units import NS_PER_S
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration of a sensitivity sweep."""
+
+    parameter: float
+    min_separation_tsc: float
+    usable: bool
+    throughput_bps: float
+
+
+def _channel_on(config: ProcessorConfig) -> IccThreadCovert:
+    system = System(config)
+    # A tiny configured slot lets the adaptive sizing pick the true
+    # minimum (reset-time + send window) for every parameter value.
+    return IccThreadCovert(system, ChannelConfig(slot_us=50.0,
+                                                 min_level_gap_tsc=0.0))
+
+
+def _probe_point(config: ProcessorConfig, parameter: float,
+                 usable_gap_tsc: float = 2000.0) -> SweepPoint:
+    channel = _channel_on(config)
+    try:
+        calibrator: Calibrator = channel.calibrate()
+    except CalibrationError:
+        return SweepPoint(parameter, 0.0, False, 0.0)
+    min_sep = min((gap for _, _, gap in calibrator.separations()), default=0.0)
+    report = channel.transfer(b"\x1e\x87")
+    throughput = report.throughput_bps if report.ber < 0.05 else 0.0
+    return SweepPoint(
+        parameter=parameter,
+        min_separation_tsc=min_sep,
+        usable=min_sep >= usable_gap_tsc and report.ber < 0.05,
+        throughput_bps=throughput,
+    )
+
+
+def sweep_vr_slew(slews_mv_per_us: Sequence[float] = (0.625, 1.25, 2.5, 5.0,
+                                                      10.0, 25.0, 100.0),
+                  ) -> List[SweepPoint]:
+    """Level separation vs VR slew rate.
+
+    Slower regulators stretch every throttling period, widening the
+    level gaps; at LDO speeds (>= 100 mV/us) the ladder collapses below
+    the reliable-decoding threshold — the mitigation continuum.
+    """
+    points = []
+    for slew in slews_mv_per_us:
+        config = cannon_lake_i3_8121u().with_overrides(
+            vr_slew_mv_per_us=slew)
+        points.append(_probe_point(config, slew))
+    return points
+
+
+def sweep_reset_time(reset_times_us: Sequence[float] = (100.0, 300.0, 650.0,
+                                                        1300.0, 2600.0),
+                     ) -> List[SweepPoint]:
+    """Throughput vs the guardband hysteresis window.
+
+    The transaction cycle is dominated by waiting out the reset-time, so
+    throughput scales almost inversely with it; the separation stays
+    constant because the level physics does not change.
+    """
+    points = []
+    for reset_us in reset_times_us:
+        config = cannon_lake_i3_8121u().with_overrides(reset_time_us=reset_us)
+        points.append(_probe_point(config, reset_us))
+    return points
+
+
+def sweep_load_line(r_ll_mohms: Sequence[float] = (0.45, 0.9, 1.8, 3.6),
+                    ) -> List[SweepPoint]:
+    """Level separation vs load-line impedance (Equation 1's R_LL).
+
+    Halving R_LL halves every guardband and with it every level gap; a
+    sufficiently stiff power delivery network is itself a (costly)
+    mitigation.
+    """
+    points = []
+    for r_ll in r_ll_mohms:
+        config = cannon_lake_i3_8121u().with_overrides(r_ll_mohm=r_ll)
+        points.append(_probe_point(config, r_ll))
+    return points
+
+
+def theoretical_reset_limited_bps(reset_time_us: float,
+                                  send_window_us: float = 60.0,
+                                  bits: int = 2) -> float:
+    """Upper bound on throughput for a reset-time-limited protocol."""
+    cycle_ns = (reset_time_us + send_window_us) * 1_000.0
+    return bits * NS_PER_S / cycle_ns
+
+
+def summarize(points: Sequence[SweepPoint]) -> Dict[str, List[float]]:
+    """Columns view of a sweep for rendering."""
+    return {
+        "parameter": [p.parameter for p in points],
+        "min_separation_tsc": [p.min_separation_tsc for p in points],
+        "usable": [float(p.usable) for p in points],
+        "throughput_bps": [p.throughput_bps for p in points],
+    }

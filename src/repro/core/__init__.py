@@ -1,0 +1,83 @@
+"""IChannels: covert channels over current-management throttling.
+
+The paper's contribution (Section 4): three covert channels that encode
+two bits per transaction in the computational-intensity level of a PHI
+loop, decoded by measuring multi-level throttling periods with ``rdtsc``.
+
+* :class:`IccThreadCovert` — sender and receiver share one hardware
+  thread (Multi-Throttling-Thread).
+* :class:`IccSMTcovert` — sender and receiver on co-located SMT threads
+  (Multi-Throttling-SMT).
+* :class:`IccCoresCovert` — sender and receiver on different physical
+  cores (Multi-Throttling-Cores).
+"""
+
+from repro.core.levels import (
+    ChannelLocation,
+    SYMBOL_BITS,
+    SYMBOL_CLASSES,
+    PROBE_CLASSES,
+    symbol_for_class,
+)
+from repro.core.encoding import bits_to_bytes, bytes_to_bits, bytes_to_symbols, symbols_to_bytes
+from repro.core.calibration import Calibrator, LevelStats
+from repro.core.sync import SlotSchedule
+from repro.core.channel import ChannelConfig, CovertChannel, TransferReport
+from repro.core.thread_channel import IccThreadCovert
+from repro.core.smt_channel import IccSMTcovert
+from repro.core.cores_channel import IccCoresCovert
+from repro.core.broadcast import BroadcastReport, IccBroadcast
+from repro.core.burst_channel import BurstReport, IccSMTBurst
+from repro.core.session import CovertSession, FecScheme, SessionConfig, SessionReport
+from repro.core.five_level import FiveLevelReport, FiveLevelThreadChannel
+from repro.core.capacity import (
+    binary_symmetric_capacity,
+    effective_throughput_bps,
+    symbol_channel_capacity_bps,
+)
+from repro.core.ecc import CRC8, Hamming74, RepetitionCode
+from repro.core.side_channel import (
+    InstructionClassSpy,
+    KeyDependentVictim,
+    SpyReport,
+)
+
+__all__ = [
+    "ChannelLocation",
+    "SYMBOL_BITS",
+    "SYMBOL_CLASSES",
+    "PROBE_CLASSES",
+    "symbol_for_class",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "bytes_to_symbols",
+    "symbols_to_bytes",
+    "Calibrator",
+    "LevelStats",
+    "SlotSchedule",
+    "ChannelConfig",
+    "CovertChannel",
+    "TransferReport",
+    "IccThreadCovert",
+    "IccSMTcovert",
+    "IccCoresCovert",
+    "BroadcastReport",
+    "IccBroadcast",
+    "BurstReport",
+    "IccSMTBurst",
+    "CovertSession",
+    "FecScheme",
+    "SessionConfig",
+    "SessionReport",
+    "FiveLevelReport",
+    "FiveLevelThreadChannel",
+    "binary_symmetric_capacity",
+    "effective_throughput_bps",
+    "symbol_channel_capacity_bps",
+    "CRC8",
+    "Hamming74",
+    "RepetitionCode",
+    "InstructionClassSpy",
+    "KeyDependentVictim",
+    "SpyReport",
+]

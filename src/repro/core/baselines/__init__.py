@@ -1,0 +1,28 @@
+"""Baseline covert channels the paper compares against (Sections 3, 6.2).
+
+* :class:`NetSpectreGadget` — same-thread, single-level AVX2 throttling,
+  one bit per transaction (Schwarz et al., ESORICS 2019).
+* :class:`TurboCC` — cross-core turbo-license frequency modulation
+  (Kalmbach et al., 2020); tens of milliseconds per bit.
+* :class:`DFSCovert` — governor-driven DVFS modulation (Alagappan et
+  al., VLSI-SoC 2017); ~50 ms per bit.
+* :class:`PowerT` — power-budget (RAPL-style) frequency modulation
+  (Khatamifard et al., HPCA 2019); ~8 ms per bit.
+
+Each baseline runs on the same simulated SoC as IChannels, so the
+Figure 12 throughput ratios are measured, not transcribed.
+"""
+
+from repro.core.baselines.base import BaselineReport
+from repro.core.baselines.netspectre import NetSpectreGadget
+from repro.core.baselines.turbocc import TurboCC
+from repro.core.baselines.dfscovert import DFSCovert
+from repro.core.baselines.powert import PowerT
+
+__all__ = [
+    "BaselineReport",
+    "NetSpectreGadget",
+    "TurboCC",
+    "DFSCovert",
+    "PowerT",
+]

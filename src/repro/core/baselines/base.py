@@ -1,0 +1,46 @@
+"""Shared report type for baseline covert channels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.units import bits_per_second
+
+
+@dataclass
+class BaselineReport:
+    """Outcome of a baseline channel transfer (one bit per transaction)."""
+
+    name: str
+    bits_sent: List[int]
+    bits_received: List[int]
+    start_ns: float
+    end_ns: float
+
+    @property
+    def bits(self) -> int:
+        """Number of payload bits transferred."""
+        return len(self.bits_sent)
+
+    @property
+    def bit_errors(self) -> int:
+        """Wrong bits between sent and received streams."""
+        return sum(1 for a, b in zip(self.bits_sent, self.bits_received) if a != b)
+
+    @property
+    def ber(self) -> float:
+        """Bit error rate."""
+        if not self.bits_sent:
+            return 0.0
+        return self.bit_errors / len(self.bits_sent)
+
+    @property
+    def elapsed_ns(self) -> float:
+        """Wall time of the transfer."""
+        return self.end_ns - self.start_ns
+
+    @property
+    def throughput_bps(self) -> float:
+        """Realised throughput in bit/s."""
+        return bits_per_second(self.bits, self.elapsed_ns)

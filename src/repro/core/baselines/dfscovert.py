@@ -1,0 +1,112 @@
+"""DFScovert: governor-driven frequency modulation (Alagappan et al. [5]).
+
+A privileged Trojan toggles the cpufreq governor's requested frequency
+between the package minimum and maximum; a spy process on another core
+observes the shared clock domain by timing a scalar loop.  Linux
+governor writes take effect only at the cpufreq sampling granularity
+(tens of milliseconds), which is why DFScovert's reported throughput is
+~20 bit/s — two orders of magnitude below IChannels.
+
+Here the governor-write latency is modelled explicitly
+(``governor_latency_ms``), and the rest of the pipeline (PLL relock,
+V/F retargeting, receiver timing) runs through the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence
+
+from repro.core.baselines.base import BaselineReport
+from repro.core.calibration import Calibrator
+from repro.core.sync import SlotSchedule
+from repro.errors import ConfigError, ProtocolError
+from repro.isa.instructions import IClass
+from repro.isa.workload import Loop
+from repro.soc.system import System
+from repro.units import ms_to_ns
+
+
+class DFSCovert:
+    """Cross-core channel over governor frequency writes."""
+
+    def __init__(self, system: System, receiver_core: int = 1,
+                 bit_period_ms: float = 50.0, governor_latency_ms: float = 10.0,
+                 probe_iterations: int = 40, training_rounds: int = 3,
+                 min_gap_tsc: float = 200.0) -> None:
+        if system.config.n_cores < 2:
+            raise ConfigError("DFScovert needs at least two cores")
+        self.system = system
+        self.receiver_thread = system.thread_on(receiver_core, 0)
+        self.slot_ns = ms_to_ns(bit_period_ms)
+        self.governor_latency_ns = ms_to_ns(governor_latency_ms)
+        self.low_ghz = system.config.min_freq_ghz
+        self.high_ghz = system.config.max_turbo_ghz
+        self.probe_loop = Loop(IClass.SCALAR_64, probe_iterations)
+        self.training_rounds = training_rounds
+        self.min_gap_tsc = min_gap_tsc
+        self._calibrator: Optional[Calibrator] = None
+
+    def _sender_program(self, schedule: SlotSchedule,
+                        bits: Sequence[int]) -> Generator:
+        system = self.system
+        for i, bit in enumerate(bits):
+            yield system.until(schedule.slot_start(i))
+            # The governor write lands after the cpufreq sampling delay.
+            yield system.sleep(self.governor_latency_ns)
+            target = self.low_ghz if bit else self.high_ghz
+            system.pmu.set_requested_freq(target)
+        # Leave the package at full speed after the last bit.
+        yield system.until(schedule.slot_start(len(bits)))
+        system.pmu.set_requested_freq(self.high_ghz)
+        return None
+
+    def _receiver_program(self, schedule: SlotSchedule, n_bits: int,
+                          measurements: List[Optional[float]]) -> Generator:
+        system = self.system
+        for i in range(n_bits):
+            yield system.until(schedule.slot_start(i) + 0.6 * self.slot_ns)
+            result = yield system.execute(self.receiver_thread, self.probe_loop)
+            measurements[i] = float(result.elapsed_tsc)
+        return None
+
+    def _run_bits(self, bits: Sequence[int]) -> List[float]:
+        if not bits:
+            raise ProtocolError("bit stream is empty")
+        if any(bit not in (0, 1) for bit in bits):
+            raise ProtocolError("bits must be 0 or 1")
+        schedule = SlotSchedule(self.system.now + self.slot_ns, self.slot_ns)
+        measurements: List[Optional[float]] = [None] * len(bits)
+        self.system.spawn(self._sender_program(schedule, list(bits)),
+                          name="dfscovert_sender")
+        self.system.spawn(
+            self._receiver_program(schedule, len(bits), measurements),
+            name="dfscovert_receiver",
+        )
+        self.system.run_until(schedule.slot_start(len(bits)) + self.slot_ns)
+        if any(m is None for m in measurements):
+            raise ProtocolError("receiver missed some slots")
+        return [float(m) for m in measurements]
+
+    def calibrate(self) -> Calibrator:
+        """Train the low/high frequency decoder."""
+        training = [0, 1] * self.training_rounds
+        readings = self._run_bits(training)
+        self._calibrator = Calibrator(list(zip(training, readings)),
+                                      min_gap=self.min_gap_tsc)
+        return self._calibrator
+
+    def transfer_bits(self, bits: Sequence[int]) -> BaselineReport:
+        """Send a bit stream by toggling the requested frequency."""
+        if self._calibrator is None:
+            self.calibrate()
+        assert self._calibrator is not None
+        start = self.system.now
+        readings = self._run_bits(bits)
+        decoded = self._calibrator.decode_all(readings)
+        return BaselineReport(
+            name="DFScovert",
+            bits_sent=list(bits),
+            bits_received=decoded,
+            start_ns=start,
+            end_ns=self.system.now,
+        )

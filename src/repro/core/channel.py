@@ -1,0 +1,367 @@
+"""Base machinery shared by the three IChannels covert channels.
+
+A transfer proceeds in fixed wall-clock slots (Section 4.3.3).  In each
+slot the sender executes a PHI loop whose computational-intensity level
+encodes two secret bits, and the receiver measures a probe loop with
+``rdtsc``; the measured throttling behaviour decodes the level.  Between
+slots both sides stay quiet so the 650 us hysteresis (reset-time,
+Section 4.1.2) returns the rail to baseline.
+
+Subclasses provide the per-location sender/receiver programs; everything
+else — framing, calibration, decoding, reporting — lives here.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import ClassVar, List, Optional, Sequence
+
+from repro.core.calibration import Calibrator
+from repro.core.encoding import bytes_to_symbols, symbols_to_bytes
+from repro.core.levels import (
+    ChannelLocation,
+    SYMBOL_BITS,
+    narrow_symbol_classes,
+    probe_class_for,
+)
+from repro.core.sync import JitteredSchedule, SlotSchedule
+from repro.errors import ProtocolError
+from repro.isa.instructions import IClass
+from repro.isa.workload import Loop
+from repro.soc.system import System
+from repro.units import bits_per_second, us_to_ns
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Protocol parameters of one covert channel instance.
+
+    Parameters
+    ----------
+    slot_us:
+        Transaction slot length.  Must exceed the send window plus the
+        650 us reset-time plus the rail's down-ramp; 750 us is safe for
+        the MBVR parts (the paper's <=690 us assumes an instant ramp-
+        down, which MBVR hardware does not quite deliver).
+    sender_iterations / probe_iterations:
+        Loop lengths (300-instruction blocks per iteration).  The probe
+        must outlast the longest throttling period it needs to observe.
+    cross_core_delay_ns:
+        How long after the sender the cross-core receiver starts its
+        probe ('within a few hundred cycles', Section 4.3.1).
+    training_rounds:
+        Calibration transactions per symbol level.
+    min_level_gap_tsc:
+        Required separation between calibrated cluster means, in TSC
+        cycles; closer clusters raise :class:`CalibrationError`.
+    adaptive_slot:
+        Grow the slot beyond ``slot_us`` when the part's electrical
+        parameters require a longer send window (default).  Disable to
+        force the configured slot exactly — useful for studying what
+        goes wrong when the protocol violates the reset-time.
+    slot_jitter_us / jitter_seed:
+        Pseudo-random per-slot start offsets from a seed both parties
+        share: defeats periodicity-based throttle-pattern detection at
+        the cost of ``slot_jitter_us / 2`` of average extra latency per
+        transaction.
+    """
+
+    slot_us: float = 750.0
+    sender_iterations: int = 30
+    probe_iterations: int = 60
+    block_instructions: int = 300
+    cross_core_delay_ns: float = 200.0
+    training_rounds: int = 3
+    min_level_gap_tsc: float = 500.0
+    adaptive_slot: bool = True
+    slot_jitter_us: float = 0.0
+    jitter_seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.slot_us <= 0:
+            raise ProtocolError(f"slot must be positive, got {self.slot_us}")
+        if self.sender_iterations < 1 or self.probe_iterations < 1:
+            raise ProtocolError("loop iterations must be >= 1")
+        if self.training_rounds < 1:
+            raise ProtocolError("training needs at least one round per symbol")
+
+
+@dataclass
+class TransferReport:
+    """Everything observed during one payload transfer."""
+
+    sent: bytes
+    received: bytes
+    symbols_sent: List[int]
+    symbols_received: List[int]
+    measurements_tsc: List[float]
+    start_ns: float
+    end_ns: float
+    location: ChannelLocation
+    retraining: bool = False
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def bits(self) -> int:
+        """Payload bits transferred."""
+        return len(self.symbols_sent) * SYMBOL_BITS
+
+    @property
+    def elapsed_ns(self) -> float:
+        """Wall time of the transfer (excluding calibration)."""
+        return self.end_ns - self.start_ns
+
+    @property
+    def bit_errors(self) -> int:
+        """Wrong bits between sent and received symbol streams."""
+        wrong = 0
+        for a, b in zip(self.symbols_sent, self.symbols_received):
+            wrong += bin((a ^ b) & 0b11).count("1")
+        return wrong
+
+    @property
+    def ber(self) -> float:
+        """Bit error rate of the transfer."""
+        if self.bits == 0:
+            return 0.0
+        return self.bit_errors / self.bits
+
+    @property
+    def throughput_bps(self) -> float:
+        """Realised throughput in bits per second."""
+        return bits_per_second(self.bits, self.elapsed_ns)
+
+    @property
+    def goodput_bps(self) -> float:
+        """Throughput discounted by the bit error rate."""
+        return self.throughput_bps * (1.0 - self.ber)
+
+
+class CovertChannel(abc.ABC):
+    """Common behaviour of IccThreadCovert / IccSMTcovert / IccCoresCovert."""
+
+    #: Where sender and receiver run; set by each subclass.
+    location: ClassVar[ChannelLocation]
+
+    def __init__(self, system: System,
+                 config: ChannelConfig = ChannelConfig()) -> None:
+        self.system = system
+        self.config = config
+        max_bits = system.config.max_vector_bits
+        self.symbol_classes = narrow_symbol_classes(max_bits)
+        self.probe_class = probe_class_for(self.location, max_bits)
+        self._calibrator: Optional[Calibrator] = None
+
+    # -- subclass hooks ------------------------------------------------------
+
+    @abc.abstractmethod
+    def _spawn_transaction_programs(self, schedule: SlotSchedule,
+                                    symbols: Sequence[int],
+                                    measurements: List[Optional[float]]) -> None:
+        """Spawn the sender/receiver programs for one symbol stream.
+
+        ``measurements[i]`` must receive the receiver's probe reading
+        (elapsed TSC cycles) for slot ``i``.
+        """
+
+    # -- electrical sizing ------------------------------------------------------
+    #
+    # The protocol only works when two timing conditions hold (the paper's
+    # senders/receivers use "a few thousand loop iterations" for the same
+    # reason):
+    #
+    # 1. the sender's loop must outlast its *own* voltage transition, so
+    #    the grant lands while the loop still runs — otherwise the probe
+    #    begins mid-ramp and only the total rail distance (which is the
+    #    same for every symbol) remains observable;
+    # 2. the receiver's probe must outlast the *longest* throttling
+    #    period it has to measure, or its reading saturates at 4x its own
+    #    length and the top levels alias.
+    #
+    # Both bounds depend on the part's guardbands and VR slew, so loops
+    # are sized from the system's electrical model, never below the
+    # configured minimums.
+
+    def _operating_point(self) -> "tuple[float, float]":
+        """(frequency GHz, baseline Vcc) of the current governor target."""
+        freq = self.system.pmu.requested_freq_ghz
+        vcc = self.system.pmu.curve.vcc_for(freq)
+        return freq, vcc
+
+    def _tp_estimate_ns(self, delta_v: float) -> float:
+        """Pessimistic transition time for a guardband step of ``delta_v``."""
+        spec = self.system.pmu.rail_of(0).spec
+        quantisation_v = 2.0 * spec.vid_step_mv / 1000.0
+        ramp = spec.transition_ns(0.0, delta_v + quantisation_v)
+        return ramp + spec.command_latency_ns  # second command in a queue
+
+    def _iterations_for_wall(self, iclass: IClass, wall_ns: float) -> int:
+        """Iterations of ``iclass`` spanning ``wall_ns`` at quarter rate."""
+        freq, _ = self._operating_point()
+        throttled_rate = iclass.ipc * freq / 4.0  # instructions per ns
+        instructions = wall_ns * throttled_rate
+        return max(1, int(instructions / self.config.block_instructions) + 1)
+
+    def _min_wall_ns(self, configured_iterations: int) -> float:
+        """Wall-time floor an iteration-count minimum implies (at IPC 1)."""
+        freq, _ = self._operating_point()
+        return configured_iterations * self.config.block_instructions * 4.0 / freq
+
+    def _sender_dv(self, iclass: IClass) -> float:
+        freq, vcc = self._operating_point()
+        return self.system.guardband.delta_v(iclass, vcc, freq)
+
+    def sender_loop(self, symbol: int) -> Loop:
+        """The PHI loop encoding two-bit ``symbol``.
+
+        Every symbol's loop is sized for the *worst* symbol's transition
+        (and iteration counts scale with the class IPC), so the sender's
+        unthrottled wall time is symbol-independent: the only observable
+        difference between symbols is the throttling behaviour itself,
+        never the loop length.
+        """
+        if symbol not in self.symbol_classes:
+            raise ProtocolError(f"symbol must be 0..3, got {symbol}")
+        iclass = self.symbol_classes[symbol]
+        worst_dv = max(self._sender_dv(c) for c in self.symbol_classes.values())
+        wall = max(self._min_wall_ns(self.config.sender_iterations),
+                   1.5 * self._tp_estimate_ns(worst_dv))
+        return Loop(iclass, self._iterations_for_wall(iclass, wall),
+                    self.config.block_instructions)
+
+    def probe_loop(self) -> Loop:
+        """The receiver's measurement loop (sized to outlast any TP).
+
+        The worst throttling period the probe must span depends on the
+        location: same-thread probes pay at most their own full ramp
+        (the residual after the sender shrinks it); SMT probes observe
+        at most the sender's ramp; cross-core probes queue behind the
+        sender and then pay their own ramp on top.
+        """
+        worst_sender_dv = max(
+            self._sender_dv(iclass) for iclass in self.symbol_classes.values()
+        )
+        probe_dv = self._sender_dv(self.probe_class)
+        if self.location == ChannelLocation.SAME_THREAD:
+            worst_dv = probe_dv
+        elif self.location == ChannelLocation.ACROSS_SMT:
+            worst_dv = worst_sender_dv
+        else:
+            worst_dv = worst_sender_dv + probe_dv
+        wall = max(self._min_wall_ns(self.config.probe_iterations),
+                   1.5 * self._tp_estimate_ns(worst_dv))
+        return Loop(self.probe_class,
+                    self._iterations_for_wall(self.probe_class, wall),
+                    self.config.block_instructions)
+
+    # -- slot execution -----------------------------------------------------------
+
+    @property
+    def slot_ns(self) -> float:
+        """Slot length in ns.
+
+        At least the configured ``slot_us``; grown when the part's slow
+        guardband ramps make the send window (sender loop + probe loop,
+        both potentially at quarter rate) plus the reset-time exceed it.
+        """
+        if not self.config.adaptive_slot:
+            return us_to_ns(self.config.slot_us)
+        freq, _ = self._operating_point()
+        share = 2.0 if self.location == ChannelLocation.ACROSS_SMT else 1.0
+
+        def wall_ns(loop: Loop) -> float:
+            return loop.total_instructions * 4.0 * share / (loop.iclass.ipc * freq)
+
+        send_window = max(wall_ns(self.sender_loop(s))
+                          for s in self.symbol_classes)
+        send_window += wall_ns(self.probe_loop())
+        send_window += self.config.cross_core_delay_ns
+        reset_ns = us_to_ns(self.system.config.reset_time_us)
+        needed = reset_ns + send_window + us_to_ns(10.0)
+        return max(us_to_ns(self.config.slot_us), needed)
+
+    def _fresh_schedule(self, n_slots: int) -> SlotSchedule:
+        """A slot schedule starting one quiet slot from now.
+
+        The leading quiet slot guarantees the hysteresis window of any
+        earlier activity has expired before slot 0 begins.
+        """
+        del n_slots  # length is implicit; slots are consumed in order
+        jitter_ns = us_to_ns(self.config.slot_jitter_us)
+        slot = self.slot_ns + jitter_ns  # keep the reset-time honoured
+        epoch = self.system.now + slot
+        if jitter_ns > 0.0:
+            return JitteredSchedule(epoch_ns=epoch, slot_ns=slot,
+                                    jitter_ns=jitter_ns,
+                                    seed=self.config.jitter_seed)
+        return SlotSchedule(epoch_ns=epoch, slot_ns=slot)
+
+    def run_symbols(self, symbols: Sequence[int]) -> List[float]:
+        """Transmit a raw symbol stream; returns per-slot probe readings."""
+        if not symbols:
+            raise ProtocolError("symbol stream is empty")
+        schedule = self._fresh_schedule(len(symbols))
+        measurements: List[Optional[float]] = [None] * len(symbols)
+        self._spawn_transaction_programs(schedule, list(symbols), measurements)
+        end = schedule.slot_start(len(symbols)) + self.slot_ns
+        self.system.run_until(end)
+        missing = [i for i, m in enumerate(measurements) if m is None]
+        if missing:
+            raise ProtocolError(
+                f"receiver produced no measurement for slots {missing}; "
+                f"slot length {self.config.slot_us} us may be too short"
+            )
+        return [float(m) for m in measurements]
+
+    # -- calibration -------------------------------------------------------------
+
+    def calibrate(self) -> Calibrator:
+        """Learn decode thresholds by sending known training symbols."""
+        training_symbols: List[int] = []
+        for _ in range(self.config.training_rounds):
+            training_symbols.extend(sorted(self.symbol_classes))
+        readings = self.run_symbols(training_symbols)
+        self._calibrator = Calibrator(
+            list(zip(training_symbols, readings)),
+            min_gap=self.config.min_level_gap_tsc,
+        )
+        return self._calibrator
+
+    @property
+    def calibrator(self) -> Optional[Calibrator]:
+        """The fitted calibrator, if :meth:`calibrate` ran."""
+        return self._calibrator
+
+    # -- transfers -------------------------------------------------------------------
+
+    def transfer(self, payload: bytes) -> TransferReport:
+        """Send ``payload`` and decode it; calibrates first if needed."""
+        if not payload:
+            raise ProtocolError("payload is empty")
+        retrained = False
+        if self._calibrator is None:
+            self.calibrate()
+            retrained = True
+        assert self._calibrator is not None
+        symbols = bytes_to_symbols(payload)
+        start = self.system.now
+        readings = self.run_symbols(symbols)
+        decoded = self._calibrator.decode_all(readings)
+        return TransferReport(
+            sent=payload,
+            received=symbols_to_bytes(decoded),
+            symbols_sent=symbols,
+            symbols_received=decoded,
+            measurements_tsc=readings,
+            start_ns=start,
+            end_ns=self.system.now,
+            location=self.location,
+            retraining=retrained,
+        )
+
+    def symbol_class(self, symbol: int) -> IClass:
+        """PHI class for ``symbol`` under this part's ladder."""
+        if symbol not in self.symbol_classes:
+            raise ProtocolError(f"symbol must be 0..3, got {symbol}")
+        return self.symbol_classes[symbol]

@@ -1,0 +1,70 @@
+"""IccCoresCovert: covert channel across physical cores (Section 4.3).
+
+All cores share one voltage regulator, and the central PMU serialises
+voltage transitions: when the receiver's own PHI request arrives while
+the sender's transition is in flight (within a few hundred cycles), the
+receiver stays throttled until *both* transitions complete.  Its probe
+time therefore grows with the sender's level (Figure 4c), even though
+sender and receiver never share a core.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence
+
+from repro.core.channel import ChannelConfig, CovertChannel
+from repro.core.levels import ChannelLocation
+from repro.core.sync import SlotSchedule
+from repro.errors import ConfigError
+from repro.soc.system import System
+
+
+class IccCoresCovert(CovertChannel):
+    """Cross-physical-core covert channel."""
+
+    location = ChannelLocation.ACROSS_CORES
+
+    def __init__(self, system: System, config: ChannelConfig = ChannelConfig(),
+                 sender_core: int = 0, receiver_core: int = 1) -> None:
+        super().__init__(system, config)
+        if system.config.n_cores < 2:
+            raise ConfigError("IccCoresCovert needs at least two cores")
+        if sender_core == receiver_core:
+            raise ConfigError(
+                "sender and receiver must run on different physical cores"
+            )
+        for core in (sender_core, receiver_core):
+            if not 0 <= core < system.config.n_cores:
+                raise ConfigError(f"no such core: {core}")
+        self.sender_thread = system.thread_on(sender_core, 0)
+        self.receiver_thread = system.thread_on(receiver_core, 0)
+
+    def _sender_program(self, schedule: SlotSchedule,
+                        symbols: Sequence[int]) -> Generator:
+        system = self.system
+        for i, symbol in enumerate(symbols):
+            yield system.until(schedule.slot_start(i))
+            yield system.execute(self.sender_thread, self.sender_loop(symbol))
+        return None
+
+    def _receiver_program(self, schedule: SlotSchedule, n_symbols: int,
+                          measurements: List[Optional[float]]) -> Generator:
+        system = self.system
+        delay = self.config.cross_core_delay_ns
+        for i in range(n_symbols):
+            # Start the probe a few hundred cycles after the sender so its
+            # voltage request queues behind the sender's (Section 4.3.1).
+            yield system.until(schedule.slot_start(i) + delay)
+            result = yield system.execute(self.receiver_thread, self.probe_loop())
+            measurements[i] = float(result.elapsed_tsc)
+        return None
+
+    def _spawn_transaction_programs(self, schedule: SlotSchedule,
+                                    symbols: Sequence[int],
+                                    measurements: List[Optional[float]]) -> None:
+        self.system.spawn(self._sender_program(schedule, symbols),
+                          name="icc_cores_sender")
+        self.system.spawn(
+            self._receiver_program(schedule, len(symbols), measurements),
+            name="icc_cores_receiver",
+        )

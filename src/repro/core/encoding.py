@@ -1,0 +1,73 @@
+"""Payload framing: bytes <-> bits <-> two-bit symbols.
+
+The IChannels protocol transmits two bits per transaction (Figure 3);
+payload bytes are split into four symbols each, most-significant pair
+first, so the bit order on the channel matches the paper's
+``send_bits[i+1:i]`` indexing read from the top of the secret.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.levels import SYMBOL_BITS
+from repro.errors import ProtocolError
+
+
+def bytes_to_bits(data: bytes) -> List[int]:
+    """Bits of ``data``, MSB-first within each byte."""
+    bits: List[int] = []
+    for byte in data:
+        for shift in range(7, -1, -1):
+            bits.append((byte >> shift) & 1)
+    return bits
+
+
+def bits_to_bytes(bits: Sequence[int]) -> bytes:
+    """Inverse of :func:`bytes_to_bits`; length must be a multiple of 8."""
+    if len(bits) % 8 != 0:
+        raise ProtocolError(f"bit count {len(bits)} is not a multiple of 8")
+    if any(bit not in (0, 1) for bit in bits):
+        raise ProtocolError("bits must be 0 or 1")
+    out = bytearray()
+    for i in range(0, len(bits), 8):
+        byte = 0
+        for bit in bits[i:i + 8]:
+            byte = (byte << 1) | bit
+        out.append(byte)
+    return bytes(out)
+
+
+def bits_to_symbols(bits: Sequence[int]) -> List[int]:
+    """Pack bits into two-bit symbols, most-significant pair first."""
+    if len(bits) % SYMBOL_BITS != 0:
+        raise ProtocolError(
+            f"bit count {len(bits)} is not a multiple of {SYMBOL_BITS}"
+        )
+    if any(bit not in (0, 1) for bit in bits):
+        raise ProtocolError("bits must be 0 or 1")
+    return [
+        (bits[i] << 1) | bits[i + 1]
+        for i in range(0, len(bits), SYMBOL_BITS)
+    ]
+
+
+def symbols_to_bits(symbols: Sequence[int]) -> List[int]:
+    """Inverse of :func:`bits_to_symbols`."""
+    bits: List[int] = []
+    for symbol in symbols:
+        if not 0 <= symbol < (1 << SYMBOL_BITS):
+            raise ProtocolError(f"symbol must be 0..3, got {symbol}")
+        bits.append((symbol >> 1) & 1)
+        bits.append(symbol & 1)
+    return bits
+
+
+def bytes_to_symbols(data: bytes) -> List[int]:
+    """Payload bytes as a symbol stream (4 symbols per byte)."""
+    return bits_to_symbols(bytes_to_bits(data))
+
+
+def symbols_to_bytes(symbols: Sequence[int]) -> bytes:
+    """Inverse of :func:`bytes_to_symbols`."""
+    return bits_to_bytes(symbols_to_bits(symbols))

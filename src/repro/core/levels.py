@@ -1,0 +1,107 @@
+"""Symbol levels and probe classes of the IChannels protocol (Figure 3).
+
+The sender encodes two secret bits per transaction by choosing one of
+four computational-intensity levels:
+
+======  ======  ==============
+bits    level   sender class
+======  ======  ==============
+``00``  L1      128b_Heavy
+``01``  L2      256b_Light
+``10``  L3      256b_Heavy
+``11``  L4      512b_Heavy
+======  ======  ==============
+
+The receiver's probe loop depends on where it runs relative to the
+sender: ``512b_Heavy`` on the same hardware thread (the probe's residual
+voltage ramp shrinks as the sender's level grows), a scalar ``64b`` loop
+on the sibling SMT thread (co-throttled for the sender's TP), and
+``128b_Heavy`` across cores (its own transition queues behind the
+sender's).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.isa.instructions import IClass
+
+#: Bits carried per communication transaction.
+SYMBOL_BITS = 2
+
+#: Two-bit symbol value -> the PHI class the sender executes.
+SYMBOL_CLASSES: Dict[int, IClass] = {
+    0b00: IClass.HEAVY_128,
+    0b01: IClass.LIGHT_256,
+    0b10: IClass.HEAVY_256,
+    0b11: IClass.HEAVY_512,
+}
+
+#: Paper-style level names per symbol.
+LEVEL_NAMES: Dict[int, str] = {0b00: "L1", 0b01: "L2", 0b10: "L3", 0b11: "L4"}
+
+
+@enum.unique
+class ChannelLocation(enum.Enum):
+    """Where sender and receiver execute relative to each other."""
+
+    SAME_THREAD = "same-thread"
+    ACROSS_SMT = "across-SMT"
+    ACROSS_CORES = "across-cores"
+
+
+#: Receiver probe class per location (Figure 3's receiver pseudo-code).
+PROBE_CLASSES: Dict[ChannelLocation, IClass] = {
+    ChannelLocation.SAME_THREAD: IClass.HEAVY_512,
+    ChannelLocation.ACROSS_SMT: IClass.SCALAR_64,
+    ChannelLocation.ACROSS_CORES: IClass.HEAVY_128,
+}
+
+
+def class_for_symbol(symbol: int) -> IClass:
+    """The PHI class encoding two-bit ``symbol``."""
+    try:
+        return SYMBOL_CLASSES[symbol]
+    except KeyError:
+        raise ConfigError(f"symbol must be 0..3, got {symbol}") from None
+
+
+def symbol_for_class(iclass: IClass) -> int:
+    """Inverse of :func:`class_for_symbol`."""
+    for symbol, candidate in SYMBOL_CLASSES.items():
+        if candidate == iclass:
+            return symbol
+    raise ConfigError(f"{iclass.label} does not encode a symbol")
+
+
+def narrow_symbol_classes(max_vector_bits: int) -> Dict[int, IClass]:
+    """Symbol mapping restricted to a part without wide vectors.
+
+    Parts without AVX-512 (Haswell, Coffee Lake) cannot execute the L4
+    class; the paper's protocol degrades to the widest available ladder.
+    We shift the ladder down one rung so four distinct levels remain:
+    128b_Light < 128b_Heavy < 256b_Light < 256b_Heavy.
+    """
+    if max_vector_bits >= 512:
+        return dict(SYMBOL_CLASSES)
+    return {
+        0b00: IClass.LIGHT_128,
+        0b01: IClass.HEAVY_128,
+        0b10: IClass.LIGHT_256,
+        0b11: IClass.HEAVY_256,
+    }
+
+
+def probe_class_for(location: ChannelLocation, max_vector_bits: int) -> IClass:
+    """Receiver probe class for a location, adapted to the vector width.
+
+    The same-thread probe must be at least as intense as the highest
+    sender level, so it shrinks with :func:`narrow_symbol_classes` on
+    parts without AVX-512.
+    """
+    probe = PROBE_CLASSES[location]
+    if probe.width_bits > max_vector_bits:
+        probe = IClass.HEAVY_256
+    return probe

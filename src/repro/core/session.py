@@ -1,0 +1,267 @@
+"""Reliable sessions over an unreliable covert channel.
+
+Section 6.3 sketches three noise strategies — averaging/retransmission,
+error-correcting codes, and transmitting during quiet periods.
+:class:`CovertSession` packages the first two into a reusable transport:
+
+* payloads are split into fixed-size **frames** with a sequence number
+  and a CRC-8 trailer;
+* each frame is optionally protected with forward error correction
+  (extended Hamming or a repetition code) behind a block interleaver, so
+  a two-bit symbol error cannot defeat a SECDED block;
+* frames failing the CRC after decoding are **retransmitted** (stop-and-
+  wait ARQ) up to a retry budget; in this covert setting the "ACK" is
+  implicit — the simulation executes both sides, and a real deployment
+  would run the paper's reverse channel the same way.
+
+The session works over any :class:`~repro.core.channel.CovertChannel`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.channel import CovertChannel
+from repro.core.ecc import CRC8, Hamming74, RepetitionCode, deinterleave, interleave
+from repro.core.encoding import bits_to_bytes, bytes_to_bits
+from repro.errors import ProtocolError
+from repro.units import bits_per_second
+
+
+@enum.unique
+class FecScheme(enum.Enum):
+    """Forward-error-correction options for session frames."""
+
+    NONE = "none"
+    HAMMING = "hamming"          # extended Hamming(8,4): rate 1/2, SECDED
+    REPETITION3 = "repetition3"  # rate 1/3, majority vote
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Transport parameters.
+
+    Parameters
+    ----------
+    frame_bytes:
+        Payload bytes per frame (excluding the 2-byte header and the
+        CRC trailer).  Smaller frames lose less per retransmission.
+    fec:
+        Forward error correction applied to each framed payload.
+    max_retries:
+        Retransmissions allowed per frame before the session fails.
+    """
+
+    frame_bytes: int = 8
+    fec: FecScheme = FecScheme.HAMMING
+    max_retries: int = 4
+    #: Section 6.3's third strategy: sense the channel before each frame
+    #: and defer while another application's PHIs are perturbing it.
+    wait_for_quiet: bool = False
+    #: Sense attempts per frame before transmitting anyway.
+    quiet_patience: int = 8
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.frame_bytes <= 250:
+            raise ProtocolError(
+                f"frame payload must be 1..250 bytes, got {self.frame_bytes}"
+            )
+        if self.max_retries < 0:
+            raise ProtocolError("retry budget must be >= 0")
+        if self.quiet_patience < 1:
+            raise ProtocolError("quiet patience must be >= 1")
+
+    @property
+    def code_rate(self) -> float:
+        """Information bits per channel bit of the chosen FEC."""
+        if self.fec == FecScheme.HAMMING:
+            return 0.5
+        if self.fec == FecScheme.REPETITION3:
+            return 1.0 / 3.0
+        return 1.0
+
+
+@dataclass
+class FrameLog:
+    """What happened to one frame."""
+
+    sequence: int
+    attempts: int
+    delivered: bool
+    raw_ber_per_attempt: List[float] = field(default_factory=list)
+    quiet_senses: int = 0
+
+
+@dataclass
+class SessionReport:
+    """Outcome of one session send."""
+
+    payload: bytes
+    delivered: Optional[bytes]
+    frames: List[FrameLog]
+    start_ns: float
+    end_ns: float
+
+    @property
+    def ok(self) -> bool:
+        """True when the payload arrived intact."""
+        return self.delivered == self.payload
+
+    @property
+    def total_attempts(self) -> int:
+        """Channel transfers used, including retransmissions."""
+        return sum(f.attempts for f in self.frames)
+
+    @property
+    def retransmissions(self) -> int:
+        """Extra transfers beyond one per frame."""
+        return self.total_attempts - len(self.frames)
+
+    @property
+    def goodput_bps(self) -> float:
+        """Delivered payload bits per second of wall time."""
+        if not self.ok or self.end_ns <= self.start_ns:
+            return 0.0
+        return bits_per_second(len(self.payload) * 8,
+                               self.end_ns - self.start_ns)
+
+
+class CovertSession:
+    """Framed, FEC-protected, retransmitting transport over a channel."""
+
+    def __init__(self, channel: CovertChannel,
+                 config: SessionConfig = SessionConfig()) -> None:
+        self.channel = channel
+        self.config = config
+        self._crc = CRC8()
+        if config.fec == FecScheme.HAMMING:
+            self._hamming: Optional[Hamming74] = Hamming74(extended=True)
+        else:
+            self._hamming = None
+        if config.fec == FecScheme.REPETITION3:
+            self._repetition: Optional[RepetitionCode] = RepetitionCode(3)
+        else:
+            self._repetition = None
+
+    # -- framing -----------------------------------------------------------------
+
+    def _frame(self, sequence: int, chunk: bytes) -> bytes:
+        """[length][sequence][payload][crc] over everything before it."""
+        header = bytes([len(chunk), sequence & 0xFF])
+        return self._crc.append(header + chunk)
+
+    def _parse_frame(self, framed: bytes) -> Optional[Tuple[int, bytes]]:
+        """(sequence, payload) if the CRC and length check out."""
+        if len(framed) < 3 or not self._crc.verify(framed):
+            return None
+        length, sequence = framed[0], framed[1]
+        payload = framed[2:-1]
+        if len(payload) != length:
+            return None
+        return sequence, payload
+
+    # -- FEC ----------------------------------------------------------------------
+
+    def _protect(self, framed: bytes) -> bytes:
+        bits = bytes_to_bits(framed)
+        if self._hamming is not None:
+            coded = self._hamming.encode(bits)
+            coded = interleave(coded, depth=self._hamming.block_bits)
+            return bits_to_bytes(coded)
+        if self._repetition is not None:
+            coded = self._repetition.encode(bits)
+            pad = (-len(coded)) % 8
+            return bits_to_bytes(coded + [0] * pad)
+        return framed
+
+    def _unprotect(self, wire: bytes, framed_len: int) -> bytes:
+        bits = bytes_to_bits(wire)
+        if self._hamming is not None:
+            coded_len = framed_len * 8 * 2
+            coded = deinterleave(bits[:coded_len],
+                                 depth=self._hamming.block_bits)
+            return bits_to_bytes(self._hamming.decode(coded))
+        if self._repetition is not None:
+            coded_len = framed_len * 8 * 3
+            return bits_to_bytes(self._repetition.decode(bits[:coded_len]))
+        return wire[:framed_len]
+
+    # -- transport ------------------------------------------------------------------
+
+    def _chunks(self, payload: bytes) -> List[bytes]:
+        size = self.config.frame_bytes
+        return [payload[i:i + size] for i in range(0, len(payload), size)]
+
+    # -- quiet-period sensing --------------------------------------------------------
+
+    def channel_is_quiet(self) -> bool:
+        """Probe the channel once and judge whether it is undisturbed.
+
+        Sends a single known training symbol and checks that the reading
+        lands where calibration put that level.  A concurrent
+        application's PHI activity — a foreign transition in flight, or
+        a foreign grant masking the probe — pushes the reading out of
+        its cluster.  Costs one slot.
+        """
+        if self.channel.calibrator is None:
+            self.channel.calibrate()
+        calibrator = self.channel.calibrator
+        assert calibrator is not None
+        reading = self.channel.run_symbols([0])[0]
+        center = calibrator.stats[0].center
+        thresholds = calibrator.thresholds
+        if thresholds:
+            nearest = min(abs(t - center) for t in thresholds)
+        else:
+            nearest = abs(center) or 1.0
+        return abs(reading - center) <= 0.9 * nearest
+
+    def _await_quiet(self) -> int:
+        """Sense until quiet (or patience runs out); returns senses used."""
+        senses = 0
+        for _ in range(self.config.quiet_patience):
+            senses += 1
+            if self.channel_is_quiet():
+                break
+        return senses
+
+    def send(self, payload: bytes) -> SessionReport:
+        """Deliver ``payload`` reliably; returns the session record."""
+        if not payload:
+            raise ProtocolError("payload is empty")
+        start = self.channel.system.now
+        logs: List[FrameLog] = []
+        delivered_chunks: List[Optional[bytes]] = []
+        for sequence, chunk in enumerate(self._chunks(payload)):
+            framed = self._frame(sequence, chunk)
+            wire = self._protect(framed)
+            log = FrameLog(sequence=sequence, attempts=0, delivered=False)
+            received_chunk: Optional[bytes] = None
+            for _ in range(1 + self.config.max_retries):
+                if self.config.wait_for_quiet:
+                    log.quiet_senses += self._await_quiet()
+                log.attempts += 1
+                report = self.channel.transfer(wire)
+                log.raw_ber_per_attempt.append(report.ber)
+                recovered = self._unprotect(report.received, len(framed))
+                parsed = self._parse_frame(recovered)
+                if parsed is not None and parsed[0] == (sequence & 0xFF):
+                    received_chunk = parsed[1]
+                    log.delivered = True
+                    break
+            logs.append(log)
+            delivered_chunks.append(received_chunk)
+        delivered: Optional[bytes]
+        if any(chunk is None for chunk in delivered_chunks):
+            delivered = None
+        else:
+            delivered = b"".join(c for c in delivered_chunks if c is not None)
+        return SessionReport(
+            payload=payload,
+            delivered=delivered,
+            frames=logs,
+            start_ns=start,
+            end_ns=self.channel.system.now,
+        )

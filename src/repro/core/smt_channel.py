@@ -1,0 +1,65 @@
+"""IccSMTcovert: covert channel across co-located SMT threads (Section 4.2).
+
+When the sender's PHI loop triggers a voltage transition, the core blocks
+the shared IDQ-to-back-end interface for three of every four cycles — for
+*both* SMT threads (Key Conclusion 5).  The receiver therefore just runs
+a scalar 64-bit loop on the sibling hardware thread and times it: the
+loop stretches by roughly the sender's throttling period, which encodes
+the sender's level (Figure 4b).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence
+
+from repro.core.channel import ChannelConfig, CovertChannel
+from repro.core.levels import ChannelLocation
+from repro.core.sync import SlotSchedule
+from repro.errors import ConfigError
+from repro.soc.system import System
+
+
+class IccSMTcovert(CovertChannel):
+    """Cross-SMT-thread covert channel."""
+
+    location = ChannelLocation.ACROSS_SMT
+
+    def __init__(self, system: System, config: ChannelConfig = ChannelConfig(),
+                 core: int = 0) -> None:
+        super().__init__(system, config)
+        if not system.config.supports_smt:
+            raise ConfigError(
+                f"{system.config.codename} has no SMT; IccSMTcovert needs "
+                f"two hardware threads per core"
+            )
+        if not 0 <= core < system.config.n_cores:
+            raise ConfigError(f"no such core: {core}")
+        self.sender_thread = system.thread_on(core, 0)
+        self.receiver_thread = system.thread_on(core, 1)
+
+    def _sender_program(self, schedule: SlotSchedule,
+                        symbols: Sequence[int]) -> Generator:
+        system = self.system
+        for i, symbol in enumerate(symbols):
+            yield system.until(schedule.slot_start(i))
+            yield system.execute(self.sender_thread, self.sender_loop(symbol))
+        return None
+
+    def _receiver_program(self, schedule: SlotSchedule, n_symbols: int,
+                          measurements: List[Optional[float]]) -> Generator:
+        system = self.system
+        for i in range(n_symbols):
+            yield system.until(schedule.slot_start(i))
+            result = yield system.execute(self.receiver_thread, self.probe_loop())
+            measurements[i] = float(result.elapsed_tsc)
+        return None
+
+    def _spawn_transaction_programs(self, schedule: SlotSchedule,
+                                    symbols: Sequence[int],
+                                    measurements: List[Optional[float]]) -> None:
+        self.system.spawn(self._sender_program(schedule, symbols),
+                          name="icc_smt_sender")
+        self.system.spawn(
+            self._receiver_program(schedule, len(symbols), measurements),
+            name="icc_smt_receiver",
+        )

@@ -1,0 +1,92 @@
+"""Wall-clock transaction synchronisation (Section 4.3.3).
+
+Sender and receiver cannot talk, so they agree (out of band, before the
+attack) on an epoch and a slot length; each busy-waits on ``rdtsc`` until
+the start of its slot.  :class:`SlotSchedule` is that shared agreement.
+
+:class:`JitteredSchedule` extends it with a pseudo-random per-slot
+offset derived from a shared seed: both parties compute identical slot
+times, but an outside observer sees an aperiodic throttle train — the
+attacker's answer to periodicity-based detection
+(:class:`~repro.mitigations.detector.ThrottleAnomalyDetector`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class SlotSchedule:
+    """A shared schedule of fixed-length transaction slots."""
+
+    epoch_ns: float
+    slot_ns: float
+
+    def __post_init__(self) -> None:
+        if self.slot_ns <= 0:
+            raise ProtocolError(f"slot length must be positive, got {self.slot_ns}")
+        if self.epoch_ns < 0:
+            raise ProtocolError(f"epoch must be >= 0, got {self.epoch_ns}")
+
+    def slot_start(self, index: int) -> float:
+        """Absolute start time of slot ``index``."""
+        if index < 0:
+            raise ProtocolError(f"slot index must be >= 0, got {index}")
+        return self.epoch_ns + index * self.slot_ns
+
+    def slot_index_at(self, t_ns: float) -> int:
+        """Index of the slot containing time ``t_ns`` (-1 before epoch)."""
+        if t_ns < self.epoch_ns:
+            return -1
+        return int((t_ns - self.epoch_ns) / self.slot_ns)
+
+    def next_slot_after(self, t_ns: float) -> int:
+        """Index of the first slot starting strictly after ``t_ns``."""
+        if t_ns < self.epoch_ns:
+            return 0
+        return self.slot_index_at(t_ns) + 1
+
+
+@dataclass(frozen=True)
+class JitteredSchedule(SlotSchedule):
+    """Slots with shared-seed pseudo-random start offsets.
+
+    Slot ``i`` starts at ``epoch + i*slot + U(0, jitter)`` where the
+    uniform draw comes from a deterministic stream both parties seed
+    identically.  Slots never overlap because the jitter only delays a
+    start within its own slot (``jitter_ns`` must stay below the slack
+    the slot leaves after its send window).
+    """
+
+    jitter_ns: float = 0.0
+    seed: int = 0
+    _offsets: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.jitter_ns < 0:
+            raise ProtocolError(f"jitter must be >= 0, got {self.jitter_ns}")
+        if self.jitter_ns >= self.slot_ns:
+            raise ProtocolError(
+                f"jitter {self.jitter_ns} must stay below the slot "
+                f"length {self.slot_ns}"
+            )
+
+    def _offset(self, index: int) -> float:
+        cached = self._offsets.get(index)
+        if cached is None:
+            # Derive each slot's offset independently so lookups need no
+            # ordering; (seed, index) gives both parties the same draw.
+            rng = np.random.default_rng((self.seed, index))
+            cached = float(rng.uniform(0.0, self.jitter_ns))
+            self._offsets[index] = cached
+        return cached
+
+    def slot_start(self, index: int) -> float:
+        """Jittered start of slot ``index``."""
+        return super().slot_start(index) + self._offset(index)

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from runtime protocol failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A simulation or channel configuration is inconsistent or unsupported.
+
+    Examples: negative slew rate, SMT channel requested on a processor
+    without SMT, unknown instruction class name.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an invalid state.
+
+    Examples: an event scheduled in the past, a program yielded an
+    unknown request object, time overflowed the configured horizon.
+    """
+
+
+class ProtocolError(ReproError):
+    """A covert-channel protocol invariant was violated.
+
+    Examples: receiver asked to decode before calibration, payload length
+    not a multiple of the symbol width, sync slot missed by more than a
+    slot length.
+    """
+
+
+class CalibrationError(ProtocolError):
+    """Calibration could not derive usable decision thresholds.
+
+    Raised when measured throttling-period level distributions overlap so
+    much that no monotone threshold assignment separates them.
+    """
+
+
+class MeasurementError(ReproError):
+    """A measurement facility was used incorrectly.
+
+    Examples: reading a DAQ trace before arming it, requesting a sample
+    rate above the instrument's maximum.
+    """

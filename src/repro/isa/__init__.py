@@ -1,0 +1,44 @@
+"""Instruction-set model: computational-intensity classes and workloads.
+
+The paper groups instructions into seven *computational intensity* classes
+(Section 4): ``64b``, ``128b_Light``, ``128b_Heavy``, ``256b_Light``,
+``256b_Heavy``, ``512b_Light`` and ``512b_Heavy``.  *Heavy* covers any
+instruction needing the floating-point unit or a multiplier; *Light* covers
+the remaining (integer arithmetic, logic, shuffle, blend) instructions.
+"""
+
+from repro.isa.instructions import (
+    IClass,
+    Instruction,
+    INSTRUCTIONS,
+    PHI_CLASSES,
+    instruction,
+    instructions_in_class,
+)
+from repro.isa.workload import (
+    Loop,
+    Phase,
+    PhaseTrace,
+    avx2_phase_program,
+    calculix_like_trace,
+    power_virus,
+    sevenzip_like_trace,
+    uniform_loop,
+)
+
+__all__ = [
+    "IClass",
+    "Instruction",
+    "INSTRUCTIONS",
+    "PHI_CLASSES",
+    "instruction",
+    "instructions_in_class",
+    "Loop",
+    "Phase",
+    "PhaseTrace",
+    "avx2_phase_program",
+    "calculix_like_trace",
+    "power_virus",
+    "sevenzip_like_trace",
+    "uniform_loop",
+]

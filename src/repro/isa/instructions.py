@@ -1,0 +1,209 @@
+"""Instruction classes and a table of concrete x86 vector instructions.
+
+The central abstraction is :class:`IClass`, the seven computational
+intensity classes of the paper (Section 4, Figure 3).  Each class carries
+the microarchitectural parameters the rest of the simulator needs:
+
+* ``cdyn_nf`` — effective switched capacitance (nF) of one core running a
+  tight loop of this class at full rate.  This drives current draw
+  (``I = Cdyn * V * f``) and, through the load-line, the voltage guardband
+  (Equation 1 of the paper).
+* ``ipc`` — baseline instructions per cycle of the loop when unthrottled.
+* ``width_bits`` / ``heavy`` — vector width and whether the instruction
+  needs the FPU or a multiplier (the paper's Heavy/Light split).
+
+Calibration: Cdyn values are chosen so the simulated electrical behaviour
+matches the paper's measurements, e.g. one core switching from scalar to
+AVX2-heavy code at 2 GHz raises the shared rail by ~8-9 mV across a
+1.8 mOhm load-line (Figure 6), and a two-core mobile part running
+AVX2-heavy at 3.1 GHz exceeds its 29 A Icc_max (Figure 7).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+
+
+@enum.unique
+class IClass(enum.IntEnum):
+    """Computational-intensity classes, ordered by increasing intensity.
+
+    The integer values order the classes by the supply-voltage guardband
+    they require: comparing two classes compares their power appetite.
+    """
+
+    SCALAR_64 = 0
+    LIGHT_128 = 1
+    HEAVY_128 = 2
+    LIGHT_256 = 3
+    HEAVY_256 = 4
+    LIGHT_512 = 5
+    HEAVY_512 = 6
+
+    @property
+    def width_bits(self) -> int:
+        """Vector width in bits (64 for scalar)."""
+        return _CLASS_PARAMS[self].width_bits
+
+    @property
+    def heavy(self) -> bool:
+        """True when the class needs the FPU or a multiplier."""
+        return _CLASS_PARAMS[self].heavy
+
+    @property
+    def cdyn_nf(self) -> float:
+        """Effective switched capacitance (nF) of a full-rate loop."""
+        return _CLASS_PARAMS[self].cdyn_nf
+
+    @property
+    def ipc(self) -> float:
+        """Baseline unthrottled instructions per cycle of a tight loop."""
+        return _CLASS_PARAMS[self].ipc
+
+    @property
+    def uses_avx256_unit(self) -> bool:
+        """True when the class exercises the 256-bit AVX datapath."""
+        return self.width_bits >= 256
+
+    @property
+    def uses_avx512_unit(self) -> bool:
+        """True when the class exercises the 512-bit AVX datapath."""
+        return self.width_bits >= 512
+
+    @property
+    def is_phi(self) -> bool:
+        """True for power-hungry instruction (PHI) classes.
+
+        The paper treats every class above plain 128-bit light code as a
+        PHI: these are the classes whose execution triggers a voltage
+        guardband adjustment and hence throttling.
+        """
+        return self >= IClass.HEAVY_128
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``256b_Heavy``."""
+        params = _CLASS_PARAMS[self]
+        if self == IClass.SCALAR_64:
+            return "64b"
+        kind = "Heavy" if params.heavy else "Light"
+        return f"{params.width_bits}b_{kind}"
+
+    @classmethod
+    def from_label(cls, label: str) -> "IClass":
+        """Look a class up by its paper-style label (case-insensitive)."""
+        wanted = label.strip().lower()
+        for iclass in cls:
+            if iclass.label.lower() == wanted:
+                return iclass
+        raise ConfigError(f"unknown instruction class label: {label!r}")
+
+
+@dataclass(frozen=True)
+class _ClassParams:
+    width_bits: int
+    heavy: bool
+    cdyn_nf: float
+    ipc: float
+
+
+# Cdyn calibration (see module docstring).  The scalar baseline of 3.0 nF
+# puts a 2-core mobile part at ~10 A of background current; the heavy-512
+# value of 9.0 nF makes a single AVX-512 core draw ~22 A at 3.1 GHz / 0.8 V.
+_CLASS_PARAMS: Dict[IClass, _ClassParams] = {
+    IClass.SCALAR_64: _ClassParams(width_bits=64, heavy=False, cdyn_nf=3.0, ipc=2.0),
+    IClass.LIGHT_128: _ClassParams(width_bits=128, heavy=False, cdyn_nf=3.6, ipc=2.0),
+    IClass.HEAVY_128: _ClassParams(width_bits=128, heavy=True, cdyn_nf=4.2, ipc=1.0),
+    IClass.LIGHT_256: _ClassParams(width_bits=256, heavy=False, cdyn_nf=5.0, ipc=1.0),
+    IClass.HEAVY_256: _ClassParams(width_bits=256, heavy=True, cdyn_nf=6.0, ipc=1.0),
+    IClass.LIGHT_512: _ClassParams(width_bits=512, heavy=False, cdyn_nf=7.4, ipc=1.0),
+    IClass.HEAVY_512: _ClassParams(width_bits=512, heavy=True, cdyn_nf=9.0, ipc=1.0),
+}
+
+#: Classes the paper treats as power-hungry instructions.
+PHI_CLASSES: Tuple[IClass, ...] = tuple(c for c in IClass if c.is_phi)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A concrete instruction mapped onto an intensity class.
+
+    Parameters
+    ----------
+    mnemonic:
+        Assembly mnemonic, e.g. ``VMULPD``.
+    iclass:
+        The computational-intensity class the instruction belongs to.
+    uops:
+        Fused-domain micro-ops the instruction decodes into.
+    description:
+        One-line human description.
+    """
+
+    mnemonic: str
+    iclass: IClass
+    uops: int
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.uops < 1:
+            raise ConfigError(f"{self.mnemonic}: uops must be >= 1, got {self.uops}")
+
+
+def _table() -> Dict[str, Instruction]:
+    rows = [
+        # mnemonic, class, uops, description
+        ("MOV64", IClass.SCALAR_64, 1, "64-bit register move"),
+        ("ADD64", IClass.SCALAR_64, 1, "64-bit integer add"),
+        ("XOR64", IClass.SCALAR_64, 1, "64-bit integer xor"),
+        ("IMUL64", IClass.SCALAR_64, 1, "64-bit integer multiply (scalar port)"),
+        ("LEA64", IClass.SCALAR_64, 1, "64-bit address computation"),
+        ("VMOVDQA128", IClass.LIGHT_128, 1, "128-bit aligned vector move"),
+        ("VPADDD128", IClass.LIGHT_128, 1, "128-bit packed 32-bit integer add"),
+        ("VPOR128", IClass.LIGHT_128, 1, "128-bit vector bitwise or"),
+        ("VPSHUFB128", IClass.LIGHT_128, 1, "128-bit byte shuffle"),
+        ("VPBLENDW128", IClass.LIGHT_128, 1, "128-bit word blend"),
+        ("VADDPD128", IClass.HEAVY_128, 1, "128-bit packed double add (FPU)"),
+        ("VSUBPS128", IClass.HEAVY_128, 1, "128-bit packed single subtract (FPU)"),
+        ("VMULPD128", IClass.HEAVY_128, 1, "128-bit packed double multiply"),
+        ("VPMULLD128", IClass.HEAVY_128, 2, "128-bit packed 32-bit integer multiply"),
+        ("VMOVDQA256", IClass.LIGHT_256, 1, "256-bit aligned vector move"),
+        ("VPADDD256", IClass.LIGHT_256, 1, "256-bit packed 32-bit integer add"),
+        ("VORPD256", IClass.LIGHT_256, 1, "256-bit vector bitwise or"),
+        ("VPERMILPS256", IClass.LIGHT_256, 1, "256-bit in-lane permute"),
+        ("VADDPD256", IClass.HEAVY_256, 1, "256-bit packed double add (FPU)"),
+        ("VSUBPS256", IClass.HEAVY_256, 1, "256-bit packed single subtract (FPU)"),
+        ("VMULPD256", IClass.HEAVY_256, 1, "256-bit packed double multiply"),
+        ("VFMADD231PD256", IClass.HEAVY_256, 1, "256-bit fused multiply-add"),
+        ("VMOVDQA512", IClass.LIGHT_512, 1, "512-bit aligned vector move"),
+        ("VPADDD512", IClass.LIGHT_512, 1, "512-bit packed 32-bit integer add"),
+        ("VPORQ512", IClass.LIGHT_512, 1, "512-bit vector bitwise or"),
+        ("VADDPD512", IClass.HEAVY_512, 1, "512-bit packed double add (FPU)"),
+        ("VMULPD512", IClass.HEAVY_512, 1, "512-bit packed double multiply"),
+        ("VFMADD231PD512", IClass.HEAVY_512, 1, "512-bit fused multiply-add"),
+    ]
+    return {
+        mnemonic: Instruction(mnemonic, iclass, uops, description)
+        for mnemonic, iclass, uops, description in rows
+    }
+
+
+#: Table of concrete instructions keyed by mnemonic.
+INSTRUCTIONS: Dict[str, Instruction] = _table()
+
+
+def instruction(mnemonic: str) -> Instruction:
+    """Look up an :class:`Instruction` by mnemonic (case-insensitive)."""
+    found = INSTRUCTIONS.get(mnemonic.upper())
+    if found is None:
+        raise ConfigError(f"unknown instruction mnemonic: {mnemonic!r}")
+    return found
+
+
+def instructions_in_class(iclass: IClass) -> List[Instruction]:
+    """All concrete instructions belonging to ``iclass``."""
+    return [inst for inst in INSTRUCTIONS.values() if inst.iclass == iclass]

@@ -1,0 +1,84 @@
+"""Simulated National Instruments data-acquisition card.
+
+The paper measures rail voltage and current with an NI PCIe-6376 card
+(3.5 MS/s, 99.94 % accuracy) wired to the VR output and motherboard sense
+resistors (Section 5.1, Figure 5).  The simulated card samples arbitrary
+signal callables at a configured rate and can add the instrument's small
+gain error and noise floor so downstream analysis code faces realistic
+data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.measure.trace import SampleSeries
+from repro.units import NS_PER_S
+
+
+@dataclass(frozen=True)
+class DAQSpec:
+    """Instrument parameters (defaults model the NI PCIe-6376).
+
+    Parameters
+    ----------
+    max_sample_rate_hz:
+        Upper bound on the sampling rate (3.5 MS/s for the PCIe-6376).
+    accuracy:
+        Multiplicative accuracy (0.9994 -> 99.94 %); the gain error is
+        drawn once per channel, as calibration error would be.
+    noise_rms:
+        Additive Gaussian noise per sample, in signal units.
+    """
+
+    max_sample_rate_hz: float = 3.5e6
+    accuracy: float = 0.9994
+    noise_rms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_sample_rate_hz <= 0:
+            raise MeasurementError("sample rate limit must be positive")
+        if not 0.0 < self.accuracy <= 1.0:
+            raise MeasurementError(f"accuracy must be in (0, 1], got {self.accuracy}")
+        if self.noise_rms < 0:
+            raise MeasurementError(f"noise must be >= 0, got {self.noise_rms}")
+
+
+class DAQCard:
+    """Samples signal callables over a simulation time span."""
+
+    def __init__(self, spec: DAQSpec = DAQSpec(), seed: int = 6376) -> None:
+        self.spec = spec
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, signal: Callable[[float], float], t0_ns: float,
+               t1_ns: float, sample_rate_hz: Optional[float] = None,
+               name: str = "channel") -> SampleSeries:
+        """Sample ``signal(t_ns)`` uniformly over [t0, t1].
+
+        ``sample_rate_hz`` defaults to the instrument maximum and may not
+        exceed it.
+        """
+        rate = sample_rate_hz if sample_rate_hz is not None else self.spec.max_sample_rate_hz
+        if rate <= 0:
+            raise MeasurementError(f"sample rate must be positive, got {rate}")
+        if rate > self.spec.max_sample_rate_hz + 1e-9:
+            raise MeasurementError(
+                f"sample rate {rate} Hz exceeds instrument maximum "
+                f"{self.spec.max_sample_rate_hz} Hz"
+            )
+        if t1_ns <= t0_ns:
+            raise MeasurementError(f"empty sampling window [{t0_ns}, {t1_ns}]")
+        period_ns = NS_PER_S / rate
+        n_samples = int((t1_ns - t0_ns) / period_ns) + 1
+        times = t0_ns + np.arange(n_samples) * period_ns
+        values = np.array([signal(float(t)) for t in times], dtype=float)
+        gain = 1.0 + (1.0 - self.spec.accuracy) * float(self._rng.normal())
+        values = values * gain
+        if self.spec.noise_rms > 0:
+            values = values + self._rng.normal(0.0, self.spec.noise_rms, n_samples)
+        return SampleSeries(times, values, name=name)

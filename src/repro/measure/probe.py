@@ -1,0 +1,145 @@
+"""Receiver-side throttling-period detection from per-iteration timing.
+
+The paper's receivers (Figure 3) measure their loop with ``rdtsc`` and
+compare the observed time against level thresholds.  At a finer grain,
+the characterisation micro-benchmarks time *individual loop iterations*
+and classify each as throttled or not (a throttled iteration runs at a
+quarter of the expected rate).  This module provides both pieces:
+
+* :func:`measured_iterations` — a program fragment that executes a loop
+  one iteration at a time, timestamping each with the TSC;
+* :class:`ThrottleDetector` — classifies per-iteration durations and
+  extracts the throttling period, the way Figures 8(b/c) and 11 do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, List, Sequence
+
+from repro.errors import ConfigError, MeasurementError
+from repro.isa.instructions import IClass
+from repro.isa.workload import Loop
+
+if TYPE_CHECKING:  # soc.system imports measure.trace; avoid the cycle
+    from repro.soc.system import System
+
+
+@dataclass(frozen=True)
+class IterationTimings:
+    """Per-iteration TSC durations of one measured loop run."""
+
+    iclass: IClass
+    block_instructions: int
+    durations_tsc: List[float]
+    start_tsc: int
+    end_tsc: int
+
+    @property
+    def total_tsc(self) -> int:
+        """Whole-run TSC span."""
+        return self.end_tsc - self.start_tsc
+
+
+def measured_iterations(system: "System", thread_id: int, iclass: IClass,
+                        iterations: int, block_instructions: int = 300,
+                        sink: "List[IterationTimings]" = None) -> Generator:
+    """A program that runs ``iterations`` timed single-iteration loops.
+
+    Append the resulting :class:`IterationTimings` to ``sink``.  Use as::
+
+        sink = []
+        system.spawn(measured_iterations(system, 0, IClass.HEAVY_256,
+                                         40, sink=sink))
+        system.run_until(...)
+        timings = sink[0]
+    """
+    if iterations < 1:
+        raise ConfigError(f"iterations must be >= 1, got {iterations}")
+    if sink is None:
+        raise ConfigError("pass a sink list to receive the timings")
+    durations: List[float] = []
+    start_tsc = system.rdtsc()
+    end_tsc = start_tsc
+    for _ in range(iterations):
+        result = yield system.execute(
+            thread_id, Loop(iclass, 1, block_instructions))
+        durations.append(float(result.elapsed_tsc))
+        end_tsc = result.end_tsc
+    sink.append(IterationTimings(
+        iclass=iclass,
+        block_instructions=block_instructions,
+        durations_tsc=durations,
+        start_tsc=start_tsc,
+        end_tsc=end_tsc,
+    ))
+    return None
+
+
+@dataclass(frozen=True)
+class ThrottleDetector:
+    """Classify per-iteration durations as throttled or not.
+
+    Parameters
+    ----------
+    expected_tsc:
+        Unthrottled duration of one iteration in TSC cycles (compute it
+        from the loop shape and frequencies, or calibrate it from a
+        known-unthrottled run).
+    threshold_factor:
+        Durations above ``threshold_factor * expected_tsc`` count as
+        throttled.  2.0 splits cleanly between 1x (unthrottled) and 4x
+        (throttled) iterations.
+    """
+
+    expected_tsc: float
+    threshold_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.expected_tsc <= 0:
+            raise ConfigError(
+                f"expected duration must be positive, got {self.expected_tsc}"
+            )
+        if self.threshold_factor <= 1.0:
+            raise ConfigError(
+                f"threshold factor must exceed 1, got {self.threshold_factor}"
+            )
+
+    @property
+    def threshold_tsc(self) -> float:
+        """Duration above which an iteration counts as throttled."""
+        return self.threshold_factor * self.expected_tsc
+
+    def throttled_mask(self, durations: Sequence[float]) -> List[bool]:
+        """Per-iteration throttled/unthrottled classification."""
+        if not durations:
+            raise MeasurementError("no iteration durations to classify")
+        return [d > self.threshold_tsc for d in durations]
+
+    def throttling_period_tsc(self, durations: Sequence[float]) -> float:
+        """Throttling period in TSC cycles.
+
+        Sums the *excess* duration of throttled iterations over the
+        expected duration — the extra cycles the current-management
+        throttle injected, which is exactly the quantity the paper's
+        multi-level decoding thresholds are defined over.
+        """
+        mask = self.throttled_mask(durations)
+        return sum(
+            d - self.expected_tsc
+            for d, throttled in zip(durations, mask)
+            if throttled
+        )
+
+    def throttled_count(self, durations: Sequence[float]) -> int:
+        """Number of throttled iterations."""
+        return sum(self.throttled_mask(durations))
+
+
+def expected_iteration_tsc(iclass: IClass, block_instructions: int,
+                           core_freq_ghz: float, tsc_ghz: float) -> float:
+    """Unthrottled single-iteration duration in TSC cycles."""
+    if core_freq_ghz <= 0 or tsc_ghz <= 0:
+        raise ConfigError("frequencies must be positive")
+    wall_ns = block_instructions / (iclass.ipc * core_freq_ghz)
+    return wall_ns * tsc_ghz

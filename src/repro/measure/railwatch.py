@@ -1,0 +1,121 @@
+"""Rail-trace analysis: recovering activity phases from DAQ samples.
+
+The paper's characterisation methodology works in this direction too:
+the NI-DAQ voltage trace alone reveals when cores enter and leave AVX
+phases (Figure 6's steps *are* the phases).  :class:`RailPhaseDetector`
+automates that read-off — segment a sampled rail voltage into plateaus
+and classify each step edge — which doubles as the physical-access
+attacker model: anyone probing the board's sense resistors sees the
+same per-core guardband staircase the covert channels modulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.measure.trace import SampleSeries
+
+
+@dataclass(frozen=True)
+class RailPhase:
+    """One voltage plateau in a rail trace."""
+
+    start_ns: float
+    end_ns: float
+    level_v: float
+
+    @property
+    def duration_ns(self) -> float:
+        """How long the plateau lasted."""
+        return self.end_ns - self.start_ns
+
+
+@dataclass(frozen=True)
+class RailStep:
+    """One detected guardband step between plateaus."""
+
+    time_ns: float
+    delta_mv: float
+
+    @property
+    def rising(self) -> bool:
+        """True for a guardband increase (a core entering a PHI phase)."""
+        return self.delta_mv > 0
+
+
+class RailPhaseDetector:
+    """Segments a sampled rail voltage into plateaus and steps.
+
+    Parameters
+    ----------
+    min_step_mv:
+        Voltage changes smaller than this are treated as noise; client
+        guardband steps are >= one VID (2.5-10 mV), so 2.0 mV default.
+    settle_samples:
+        A new plateau must hold for at least this many samples before it
+        counts (skips the ramp between plateaus).
+    """
+
+    def __init__(self, min_step_mv: float = 2.0,
+                 settle_samples: int = 3) -> None:
+        if min_step_mv <= 0:
+            raise MeasurementError("min step must be positive")
+        if settle_samples < 1:
+            raise MeasurementError("settle window must be >= 1 sample")
+        self.min_step_mv = min_step_mv
+        self.settle_samples = settle_samples
+
+    def phases(self, series: SampleSeries) -> List[RailPhase]:
+        """The plateau segmentation of a rail trace."""
+        if len(series) < self.settle_samples:
+            raise MeasurementError("trace too short to segment")
+        threshold_v = self.min_step_mv / 1000.0
+        values = np.asarray(series.values, dtype=float)
+        times = np.asarray(series.times_ns, dtype=float)
+        phases: List[RailPhase] = []
+        anchor = 0
+        level = values[0]
+        for i in range(1, len(values)):
+            if abs(values[i] - level) <= threshold_v:
+                continue
+            # Candidate step: require the new level to hold.
+            hold = values[i:i + self.settle_samples]
+            if len(hold) < self.settle_samples:
+                break
+            if np.max(np.abs(hold - hold.mean())) > threshold_v:
+                continue  # still ramping
+            phases.append(RailPhase(times[anchor], times[i], float(level)))
+            anchor = i
+            level = float(hold.mean())
+        phases.append(RailPhase(times[anchor], times[-1], float(level)))
+        return phases
+
+    def steps(self, series: SampleSeries) -> List[RailStep]:
+        """The guardband steps between consecutive plateaus."""
+        phases = self.phases(series)
+        return [
+            RailStep(time_ns=b.start_ns,
+                     delta_mv=(b.level_v - a.level_v) * 1000.0)
+            for a, b in zip(phases, phases[1:])
+        ]
+
+    def active_phi_cores(self, series: SampleSeries,
+                         step_per_core_mv: float) -> List[int]:
+        """Per-plateau estimate of how many cores run PHIs.
+
+        Divides each plateau's height above the lowest plateau by the
+        per-core guardband step — the 'count the staircase' read-off of
+        Figure 6(a).
+        """
+        if step_per_core_mv <= 0:
+            raise MeasurementError("per-core step must be positive")
+        phases = self.phases(series)
+        floor = min(p.level_v for p in phases)
+        return [
+            int(round((p.level_v - floor) * 1000.0 / step_per_core_mv))
+            for p in phases
+        ]

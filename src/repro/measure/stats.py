@@ -1,0 +1,111 @@
+"""Statistics helpers for characterisation experiments.
+
+The paper's figures report distributions (Fig. 8a, 11, 13), level
+separations (Fig. 13's >2 K-cycle threshold gaps) and bit error rates
+(Fig. 14).  These helpers keep the benchmark harnesses free of ad-hoc
+numerics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-style summary of one sample set."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3f} std={self.std:.3f} "
+            f"min={self.minimum:.3f} p25={self.p25:.3f} med={self.median:.3f} "
+            f"p75={self.p75:.3f} max={self.maximum:.3f}"
+        )
+
+
+def distribution_summary(samples: Sequence[float]) -> DistributionSummary:
+    """Summarise a sample set; raises on empty input."""
+    if len(samples) == 0:
+        raise MeasurementError("cannot summarise an empty sample set")
+    arr = np.asarray(samples, dtype=float)
+    return DistributionSummary(
+        count=len(arr),
+        mean=float(np.mean(arr)),
+        std=float(np.std(arr)),
+        minimum=float(np.min(arr)),
+        p25=float(np.percentile(arr, 25)),
+        median=float(np.median(arr)),
+        p75=float(np.percentile(arr, 75)),
+        maximum=float(np.max(arr)),
+    )
+
+
+def histogram(samples: Sequence[float], bins: int = 20
+              ) -> List[Tuple[float, float, int]]:
+    """Histogram as (bin_lo, bin_hi, count) rows."""
+    if len(samples) == 0:
+        raise MeasurementError("cannot histogram an empty sample set")
+    if bins < 1:
+        raise MeasurementError(f"bins must be >= 1, got {bins}")
+    counts, edges = np.histogram(np.asarray(samples, dtype=float), bins=bins)
+    return [
+        (float(edges[i]), float(edges[i + 1]), int(counts[i]))
+        for i in range(len(counts))
+    ]
+
+
+def level_separation(level_samples: Dict[int, Sequence[float]]
+                     ) -> List[Tuple[int, int, float]]:
+    """Gap between adjacent level clusters, as (level_a, level_b, gap).
+
+    ``gap`` is ``min(samples_b) - max(samples_a)`` for consecutive levels
+    sorted by their means; positive gaps mean the clusters do not overlap
+    (the Figure 13 condition for a zero error rate).
+    """
+    if len(level_samples) < 2:
+        raise MeasurementError("need at least two levels to compute separation")
+    ordered = sorted(
+        level_samples.items(),
+        key=lambda kv: float(np.mean(np.asarray(kv[1], dtype=float))),
+    )
+    gaps = []
+    for (label_a, samples_a), (label_b, samples_b) in zip(ordered, ordered[1:]):
+        if len(samples_a) == 0 or len(samples_b) == 0:
+            raise MeasurementError("levels must have samples")
+        gap = float(np.min(samples_b)) - float(np.max(samples_a))
+        gaps.append((label_a, label_b, gap))
+    return gaps
+
+
+def bit_error_rate(sent: Sequence[int], received: Sequence[int],
+                   bits_per_symbol: int = 2) -> float:
+    """Fraction of wrong bits between two symbol streams.
+
+    Symbols are compared bit-by-bit (a symbol error may cost 1 or 2
+    bits); streams must have equal length.
+    """
+    if len(sent) != len(received):
+        raise MeasurementError(
+            f"stream lengths differ: {len(sent)} vs {len(received)}"
+        )
+    if len(sent) == 0:
+        raise MeasurementError("cannot compute BER on empty streams")
+    wrong = 0
+    for a, b in zip(sent, received):
+        diff = a ^ b
+        wrong += bin(diff & ((1 << bits_per_symbol) - 1)).count("1")
+    return wrong / (len(sent) * bits_per_symbol)

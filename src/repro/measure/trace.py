@@ -1,0 +1,145 @@
+"""Time-series containers for simulation observables.
+
+Two shapes cover everything the simulator records:
+
+* :class:`StepTrace` — piecewise-constant signals (frequency, per-core
+  throttle state, activity class, power draw).  Records (time, value)
+  breakpoints; lookups return the value in force at a time.
+* :class:`SampleSeries` — uniformly sampled signals, as produced by the
+  simulated DAQ card.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Generic, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+T = TypeVar("T")
+
+
+@dataclass
+class StepTrace(Generic[T]):
+    """A piecewise-constant signal recorded as breakpoints.
+
+    ``record`` may be called with non-decreasing timestamps; recording a
+    new value at an existing timestamp overwrites the breakpoint (last
+    writer wins, which matches how state settles within one event).
+    """
+
+    name: str = "signal"
+    _times: List[float] = field(default_factory=list)
+    _values: List[T] = field(default_factory=list)
+
+    def record(self, t_ns: float, value: T) -> None:
+        """Set the signal to ``value`` from ``t_ns`` onward."""
+        if self._times and t_ns < self._times[-1] - 1e-9:
+            raise MeasurementError(
+                f"{self.name}: record at t={t_ns} before last t={self._times[-1]}"
+            )
+        if self._times and abs(t_ns - self._times[-1]) <= 1e-9:
+            self._values[-1] = value
+            return
+        if self._values and self._values[-1] == value:
+            return  # no change, keep the trace compact
+        self._times.append(t_ns)
+        self._values.append(value)
+
+    def value_at(self, t_ns: float, default: T = None) -> T:  # type: ignore[assignment]
+        """Value in force at ``t_ns`` (``default`` before the first record)."""
+        idx = bisect.bisect_right(self._times, t_ns) - 1
+        if idx < 0:
+            return default
+        return self._values[idx]
+
+    def breakpoints(self) -> List[Tuple[float, T]]:
+        """All (time, value) breakpoints in order."""
+        return list(zip(self._times, self._values))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def changes_in(self, t0_ns: float, t1_ns: float) -> List[Tuple[float, T]]:
+        """Breakpoints with t0 <= t < t1."""
+        lo = bisect.bisect_left(self._times, t0_ns)
+        hi = bisect.bisect_left(self._times, t1_ns)
+        return list(zip(self._times[lo:hi], self._values[lo:hi]))
+
+    def time_weighted_mean(self, t0_ns: float, t1_ns: float) -> float:
+        """Time-weighted mean of a numeric step trace over [t0, t1]."""
+        if t1_ns <= t0_ns:
+            raise MeasurementError(f"empty interval [{t0_ns}, {t1_ns}]")
+        total = 0.0
+        current = self.value_at(t0_ns, default=0.0)  # type: ignore[arg-type]
+        last = t0_ns
+        for t, value in self.changes_in(t0_ns, t1_ns):
+            if t > last:
+                total += float(current) * (t - last)
+                last = t
+            current = value
+        total += float(current) * (t1_ns - last)
+        return total / (t1_ns - t0_ns)
+
+
+@dataclass
+class SampleSeries:
+    """A uniformly sampled signal (what a DAQ card returns)."""
+
+    times_ns: np.ndarray
+    values: np.ndarray
+    name: str = "samples"
+
+    def __post_init__(self) -> None:
+        if len(self.times_ns) != len(self.values):
+            raise MeasurementError(
+                f"{self.name}: {len(self.times_ns)} timestamps vs "
+                f"{len(self.values)} values"
+            )
+
+    def __len__(self) -> int:
+        return len(self.times_ns)
+
+    @property
+    def duration_ns(self) -> float:
+        """Span between first and last sample."""
+        if len(self.times_ns) < 2:
+            return 0.0
+        return float(self.times_ns[-1] - self.times_ns[0])
+
+    def mean(self) -> float:
+        """Arithmetic mean of the samples."""
+        if len(self.values) == 0:
+            raise MeasurementError(f"{self.name}: no samples")
+        return float(np.mean(self.values))
+
+    def minmax(self) -> Tuple[float, float]:
+        """(min, max) of the samples."""
+        if len(self.values) == 0:
+            raise MeasurementError(f"{self.name}: no samples")
+        return float(np.min(self.values)), float(np.max(self.values))
+
+    def delta_from_start(self) -> "SampleSeries":
+        """Series re-based to its first sample (Figure 6 plots Vcc delta)."""
+        if len(self.values) == 0:
+            raise MeasurementError(f"{self.name}: no samples")
+        return SampleSeries(self.times_ns, self.values - self.values[0],
+                            name=f"{self.name}_delta")
+
+    def window(self, t0_ns: float, t1_ns: float) -> "SampleSeries":
+        """Samples with t0 <= t <= t1."""
+        mask = (self.times_ns >= t0_ns) & (self.times_ns <= t1_ns)
+        return SampleSeries(self.times_ns[mask], self.values[mask], name=self.name)
+
+
+def merge_step_traces(traces: Sequence[StepTrace], t0_ns: float,
+                      t1_ns: float) -> List[float]:
+    """Sorted union of breakpoint times of several traces within a span."""
+    times = {t0_ns, t1_ns}
+    for trace in traces:
+        for t, _ in trace.changes_in(t0_ns, t1_ns):
+            times.add(t)
+    return sorted(times)

@@ -1,0 +1,122 @@
+"""Execution-port model: where the per-class IPC values come from.
+
+The loop bodies behind each :class:`~repro.isa.instructions.IClass` are
+*mixes*, not single opcodes — an unrolled AVX2 multiply loop carries the
+multiplies plus address arithmetic and a loop branch.  This module
+models the Skylake-family execution ports and the per-class uop mixes,
+and derives each class's sustained unthrottled IPC as the binding
+bottleneck (ports or the 4-wide delivery).  A consistency test pins the
+derived values to the ``IClass.ipc`` numbers the rest of the simulator
+uses, so the timing model and the microarchitectural story cannot drift
+apart.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.errors import ConfigError
+from repro.isa.instructions import IClass
+
+#: Front-end delivery width (uops per cycle from the IDQ).
+DELIVERY_WIDTH = 4
+
+
+@enum.unique
+class PortGroup(enum.Enum):
+    """Execution-port groups of a Skylake-class core (simplified)."""
+
+    SCALAR_ALU = "scalar_alu"   # ports 0, 1, 5, 6
+    VECTOR_ALU = "vector_alu"   # ports 0, 1, 5 (SIMD integer / logic)
+    FP_MUL = "fp_mul"           # ports 0, 1 (FMA/MUL/FP-add units)
+    FP_MUL_512 = "fp_mul_512"   # fused port 0+1 pair for 512-bit ops
+    LOAD = "load"               # ports 2, 3
+    BRANCH = "branch"           # port 6
+
+
+#: Ports available per group.
+PORT_COUNTS: Dict[PortGroup, int] = {
+    PortGroup.SCALAR_ALU: 4,
+    PortGroup.VECTOR_ALU: 3,
+    PortGroup.FP_MUL: 2,
+    PortGroup.FP_MUL_512: 1,   # the two 256-bit FMAs fuse into one 512-bit
+    PortGroup.LOAD: 2,
+    PortGroup.BRANCH: 1,
+}
+
+
+@dataclass(frozen=True)
+class UopMix:
+    """Average uops issued to each port group per loop *instruction*."""
+
+    per_group: Mapping[PortGroup, float]
+
+    def __post_init__(self) -> None:
+        for group, uops in self.per_group.items():
+            if uops < 0:
+                raise ConfigError(f"negative uop count for {group}")
+        if not any(v > 0 for v in self.per_group.values()):
+            raise ConfigError("a uop mix must issue at least one uop")
+
+    @property
+    def total_uops(self) -> float:
+        """Total uops per instruction (front-end load)."""
+        return sum(self.per_group.values())
+
+
+# Per-class mixes.  Each class's loop instruction is the paper's
+# benchmark body amortised: the payload op plus its share of address
+# arithmetic and loop-control uops.
+CLASS_MIXES: Dict[IClass, UopMix] = {
+    # Scalar loops: ~2 ALU uops per counted instruction (payload +
+    # bookkeeping) across 4 ports -> 2 IPC sustained.
+    IClass.SCALAR_64: UopMix({PortGroup.SCALAR_ALU: 2.0,
+                              PortGroup.BRANCH: 0.0}),
+    # 128-bit light vector: SIMD logic on 3 vector ALU ports, ~1.5
+    # vector uops per instruction -> 2 IPC.
+    IClass.LIGHT_128: UopMix({PortGroup.VECTOR_ALU: 1.5}),
+    # Heavy 128-bit: FP/multiply bound on the 2 FMA ports, ~2 uops per
+    # instruction (payload + dependent move) -> 1 IPC.
+    IClass.HEAVY_128: UopMix({PortGroup.FP_MUL: 2.0}),
+    # Light 256-bit: wider SIMD logic saturates the vector ALUs at ~3
+    # uops per instruction -> 1 IPC.
+    IClass.LIGHT_256: UopMix({PortGroup.VECTOR_ALU: 3.0}),
+    # Heavy 256-bit: two FMA-port uops per instruction -> 1 IPC.
+    IClass.HEAVY_256: UopMix({PortGroup.FP_MUL: 2.0}),
+    # Light 512-bit: 512-bit SIMD logic occupies a fused port pair.
+    IClass.LIGHT_512: UopMix({PortGroup.VECTOR_ALU: 3.0}),
+    # Heavy 512-bit: the fused 512-bit FMA issues one uop per
+    # instruction on the single fused unit -> 1 IPC.
+    IClass.HEAVY_512: UopMix({PortGroup.FP_MUL_512: 1.0}),
+}
+
+
+def sustained_ipc(iclass: IClass) -> float:
+    """Sustained unthrottled IPC of a tight loop of ``iclass``.
+
+    The minimum of the per-group port limits and the front-end delivery
+    width, in instructions (not uops) per cycle.
+    """
+    mix = CLASS_MIXES.get(iclass)
+    if mix is None:
+        raise ConfigError(f"no uop mix defined for {iclass.label}")
+    limits = [
+        PORT_COUNTS[group] / uops
+        for group, uops in mix.per_group.items()
+        if uops > 0
+    ]
+    limits.append(DELIVERY_WIDTH / max(mix.total_uops, 1e-9))
+    return min(limits)
+
+
+def bottleneck(iclass: IClass) -> PortGroup:
+    """The port group that binds ``iclass``'s throughput."""
+    mix = CLASS_MIXES[iclass]
+    groups = [
+        (PORT_COUNTS[group] / uops, group)
+        for group, uops in mix.per_group.items()
+        if uops > 0
+    ]
+    return min(groups)[1]

@@ -1,0 +1,38 @@
+"""Invariant timestamp counter (``rdtsc``) model.
+
+Modern Intel parts expose an *invariant* TSC that ticks at a fixed rate
+(the base frequency) regardless of the core's current P-state.  Both the
+covert-channel receiver's throttling-period measurements and the wall
+clock synchronisation of Section 4.3.3 use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TimestampCounter:
+    """TSC ticking at ``tsc_ghz`` independent of core frequency."""
+
+    tsc_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.tsc_ghz <= 0:
+            raise ConfigError(f"TSC rate must be positive, got {self.tsc_ghz} GHz")
+
+    def read(self, now_ns: float) -> int:
+        """``rdtsc`` at simulation time ``now_ns``."""
+        if now_ns < 0:
+            raise ConfigError(f"time must be >= 0, got {now_ns}")
+        return int(now_ns * self.tsc_ghz)
+
+    def cycles(self, elapsed_ns: float) -> float:
+        """TSC ticks spanned by an interval of ``elapsed_ns``."""
+        return elapsed_ns * self.tsc_ghz
+
+    def ns(self, cycles: float) -> float:
+        """Wall nanoseconds spanned by ``cycles`` TSC ticks."""
+        return cycles / self.tsc_ghz

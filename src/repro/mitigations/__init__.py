@@ -1,0 +1,42 @@
+"""The paper's mitigations (Section 7, Table 1).
+
+Three defences, each a :class:`~repro.soc.system.SystemOptions` recipe
+plus evaluation tooling:
+
+* **Per-core voltage regulators** (LDO/IVR) — eliminates the cross-core
+  serialisation (IccCoresCovert) and, with fast LDO ramps, shrinks the
+  remaining throttling periods below usability.  11-13 % core area.
+* **Improved core throttling** — gate only the PHI thread's uops;
+  IccSMTcovert dies, the same-thread and cross-core channels survive.
+* **Secure mode** — pin the worst-case guardband; no transitions, no
+  throttling, all three channels die, at a 4-11 % power cost.
+"""
+
+from repro.mitigations.recipes import (
+    Mitigation,
+    improved_throttling_options,
+    options_for,
+    per_core_vr_options,
+    secure_mode_options,
+)
+from repro.mitigations.detector import DetectionReport, ThrottleAnomalyDetector
+from repro.mitigations.report import (
+    MitigationOutcome,
+    MitigationReport,
+    evaluate_mitigation,
+    evaluate_all,
+)
+
+__all__ = [
+    "DetectionReport",
+    "ThrottleAnomalyDetector",
+    "Mitigation",
+    "improved_throttling_options",
+    "options_for",
+    "per_core_vr_options",
+    "secure_mode_options",
+    "MitigationOutcome",
+    "MitigationReport",
+    "evaluate_mitigation",
+    "evaluate_all",
+]

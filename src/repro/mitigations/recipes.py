@@ -1,0 +1,61 @@
+"""System-option recipes for each mitigation."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigError
+from repro.soc.system import SystemOptions
+
+
+@enum.unique
+class Mitigation(enum.Enum):
+    """The three defences of Section 7."""
+
+    NONE = "baseline"
+    PER_CORE_VR = "per-core-vr"
+    IMPROVED_THROTTLING = "improved-throttling"
+    SECURE_MODE = "secure-mode"
+
+
+def per_core_vr_options(fast_ldo: bool = True) -> SystemOptions:
+    """Per-core rails; with ``fast_ldo`` also sub-0.5 us transitions.
+
+    The paper proposes LDO (AMD-style) per-core regulators: the
+    dedicated rail removes cross-core transition serialisation, and the
+    fast ramp shrinks every remaining throttling period from >10 us to
+    <0.5 us, making the level ladder unusable in practice.
+    """
+    return SystemOptions(per_core_vr=True, ldo_rails=fast_ldo)
+
+
+def improved_throttling_options() -> SystemOptions:
+    """Gate only the PHI thread's uops (no cross-SMT co-throttling)."""
+    return SystemOptions(improved_throttling=True)
+
+
+def secure_mode_options() -> SystemOptions:
+    """Worst-case guardband pinned; no transitions, no throttling."""
+    return SystemOptions(secure_mode=True)
+
+
+def options_for(mitigation: Mitigation) -> SystemOptions:
+    """The :class:`SystemOptions` implementing ``mitigation``."""
+    if mitigation == Mitigation.NONE:
+        return SystemOptions()
+    if mitigation == Mitigation.PER_CORE_VR:
+        return per_core_vr_options()
+    if mitigation == Mitigation.IMPROVED_THROTTLING:
+        return improved_throttling_options()
+    if mitigation == Mitigation.SECURE_MODE:
+        return secure_mode_options()
+    raise ConfigError(f"unknown mitigation: {mitigation}")
+
+
+#: Table 1's overhead column, as reported by the paper.
+OVERHEAD_NOTES = {
+    Mitigation.NONE: "none",
+    Mitigation.PER_CORE_VR: "11%-13% more core area",
+    Mitigation.IMPROVED_THROTTLING: "some design effort",
+    Mitigation.SECURE_MODE: "4%-11% additional power",
+}

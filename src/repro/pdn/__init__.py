@@ -1,0 +1,27 @@
+"""Power delivery network: load-line, voltage regulators, guardbands, gates.
+
+Models Section 2 of the paper: the motherboard-VR (MBVR) power delivery of
+Coffee Lake / Cannon Lake, the faster fully-integrated VR (FIVR) of
+Haswell, and the low-dropout (LDO) regulators the paper proposes as a
+mitigation; the load-line ``Vcc_load = Vcc - R_LL * Icc``; the adaptive
+multi-level voltage guardband (Equation 1); and the AVX power gates with
+staggered wake-up.
+"""
+
+from repro.pdn.loadline import LoadLine
+from repro.pdn.regulator import VRKind, VRSpec, VoltageRegulator
+from repro.pdn.guardband import GuardbandModel
+from repro.pdn.droop import DroopModel, DroopSpec
+from repro.pdn.powergate import PowerGate, PowerGateSpec
+
+__all__ = [
+    "LoadLine",
+    "VRKind",
+    "VRSpec",
+    "VoltageRegulator",
+    "GuardbandModel",
+    "DroopModel",
+    "DroopSpec",
+    "PowerGate",
+    "PowerGateSpec",
+]

@@ -1,0 +1,245 @@
+"""Voltage regulator models: MBVR, FIVR and LDO.
+
+A :class:`VoltageRegulator` is a stateful rail.  The central PMU commands
+it over a (simulated) SVID interface; each command incurs the SVID
+round-trip latency and then the output slews linearly at the regulator's
+slew rate until it reaches the target VID.
+
+The three kinds mirror the paper:
+
+* ``MBVR`` — motherboard VR (Coffee Lake, Cannon Lake): slow SVID slew;
+  the dominant cause of the 12-15 us AVX2 throttling periods (Fig. 8a).
+* ``FIVR`` — fully integrated VR (Haswell): faster slew, shorter
+  throttling periods (~9 us, Fig. 8a footnote 10).
+* ``LDO`` — per-core low-dropout regulator (AMD-style), the paper's
+  mitigation: sub-0.5 us transitions (Section 7).
+
+Output voltage over time is kept as piecewise-linear segments so the
+simulated NI-DAQ (:mod:`repro.measure.daq`) can sample the rail.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import ConfigError, SimulationError
+from repro.units import mv_to_v
+
+
+@enum.unique
+class VRKind(enum.Enum):
+    """The power-delivery style of a rail."""
+
+    MBVR = "mbvr"
+    FIVR = "fivr"
+    LDO = "ldo"
+
+
+@dataclass(frozen=True)
+class VRSpec:
+    """Electrical parameters of a voltage regulator.
+
+    Parameters
+    ----------
+    kind:
+        Regulator family (affects nothing directly; carried for reports).
+    slew_mv_per_us:
+        Output slew rate.  MBVR parts use the SVID 'slow' slew of
+        ~1.25 mV/us; FIVR ~4 mV/us; LDO >= 100 mV/us.
+    command_latency_ns:
+        Fixed latency from the PMU issuing a VID command to the output
+        starting to move (SVID serial transfer + controller response).
+    vid_step_mv:
+        VID quantisation step; targets are rounded *up* to a step so the
+        load never lands below the requested voltage.
+    vcc_max:
+        Maximum operational voltage of the rail (Section 2, Fig. 2c).
+    icc_max:
+        Maximum current the VR is electrically designed for.  Exceeding
+        it can damage the part, so the PMU throttles frequency first.
+    """
+
+    kind: VRKind
+    slew_mv_per_us: float
+    command_latency_ns: float
+    vid_step_mv: float
+    vcc_max: float
+    icc_max: float
+
+    def __post_init__(self) -> None:
+        if self.slew_mv_per_us <= 0:
+            raise ConfigError(f"slew rate must be positive, got {self.slew_mv_per_us}")
+        if self.command_latency_ns < 0:
+            raise ConfigError(
+                f"command latency must be >= 0, got {self.command_latency_ns}"
+            )
+        if self.vid_step_mv <= 0:
+            raise ConfigError(f"VID step must be positive, got {self.vid_step_mv}")
+        if self.vcc_max <= 0 or self.icc_max <= 0:
+            raise ConfigError("vcc_max and icc_max must be positive")
+
+    def quantize_vid(self, vcc: float) -> float:
+        """Round ``vcc`` up to the next VID step."""
+        step = mv_to_v(self.vid_step_mv)
+        return math.ceil(vcc / step - 1e-9) * step
+
+    def transition_ns(self, v_from: float, v_to: float) -> float:
+        """Wall time of a commanded transition between two voltages."""
+        delta_mv = abs(v_to - v_from) * 1000.0
+        slew_ns = delta_mv / self.slew_mv_per_us * 1000.0
+        return self.command_latency_ns + slew_ns
+
+
+def mbvr_spec(vcc_max: float, icc_max: float,
+              slew_mv_per_us: float = 1.25,
+              command_latency_ns: float = 1_500.0,
+              vid_step_mv: float = 5.0) -> VRSpec:
+    """Motherboard VR with SVID slow-slew defaults."""
+    return VRSpec(VRKind.MBVR, slew_mv_per_us, command_latency_ns,
+                  vid_step_mv, vcc_max, icc_max)
+
+
+def fivr_spec(vcc_max: float, icc_max: float,
+              slew_mv_per_us: float = 2.0,
+              command_latency_ns: float = 300.0,
+              vid_step_mv: float = 5.0) -> VRSpec:
+    """Fully-integrated VR (Haswell) — faster than MBVR."""
+    return VRSpec(VRKind.FIVR, slew_mv_per_us, command_latency_ns,
+                  vid_step_mv, vcc_max, icc_max)
+
+
+def ldo_spec(vcc_max: float, icc_max: float,
+             slew_mv_per_us: float = 100.0,
+             command_latency_ns: float = 50.0,
+             vid_step_mv: float = 5.0) -> VRSpec:
+    """Low-dropout per-core regulator: sub-0.5 us transitions (Section 7)."""
+    return VRSpec(VRKind.LDO, slew_mv_per_us, command_latency_ns,
+                  vid_step_mv, vcc_max, icc_max)
+
+
+@dataclass
+class _Segment:
+    """One piecewise-linear span of the rail's output voltage."""
+
+    t_start: float
+    t_end: float
+    v_start: float
+    v_end: float
+
+    def voltage_at(self, t_ns: float) -> float:
+        if self.t_end <= self.t_start:
+            return self.v_end
+        frac = (t_ns - self.t_start) / (self.t_end - self.t_start)
+        frac = min(1.0, max(0.0, frac))
+        return self.v_start + frac * (self.v_end - self.v_start)
+
+
+@dataclass
+class VoltageRegulator:
+    """A stateful rail driven by VID commands.
+
+    The regulator records its full piecewise-linear voltage history so
+    measurement code can sample the rail at arbitrary times.  Commands
+    must be issued at non-decreasing simulation times; the central PMU is
+    responsible for serialising transitions (it never issues a new
+    command while one is in flight — that serialisation is the root cause
+    of the Multi-Throttling-Cores side effect).
+    """
+
+    spec: VRSpec
+    v_initial: float
+    name: str = "vr"
+    _segments: List[_Segment] = field(default_factory=list)
+    _busy_until: float = 0.0
+    _last_command_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.v_initial <= 0:
+            raise ConfigError(f"initial voltage must be positive, got {self.v_initial}")
+        self._segments.append(_Segment(0.0, 0.0, self.v_initial, self.v_initial))
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def busy_until(self) -> float:
+        """Simulation time at which the in-flight transition settles."""
+        return self._busy_until
+
+    def is_busy(self, now_ns: float) -> bool:
+        """True while a commanded transition has not settled yet."""
+        return now_ns < self._busy_until
+
+    def voltage_at(self, t_ns: float) -> float:
+        """Output voltage at time ``t_ns`` (piecewise-linear history)."""
+        if not self._segments:
+            raise SimulationError("regulator has no history")
+        # Binary search over segment starts; histories are short enough
+        # that a linear scan from the back is also fine and simpler.
+        for segment in reversed(self._segments):
+            if t_ns >= segment.t_start:
+                return segment.voltage_at(t_ns)
+        return self._segments[0].v_start
+
+    def settled_voltage(self) -> float:
+        """The target of the most recent command (the eventual voltage)."""
+        return self._segments[-1].v_end
+
+    # -- commands ----------------------------------------------------------
+
+    def command(self, now_ns: float, target_vcc: float) -> float:
+        """Issue a VID command; returns the settle time (ns).
+
+        The target is quantised up to the VID grid and clamped to
+        ``vcc_max``.  Raises :class:`SimulationError` if issued while a
+        previous transition is still in flight or if time runs backwards.
+        """
+        if now_ns < self._last_command_ns - 1e-6:
+            raise SimulationError(
+                f"VR command at t={now_ns} before previous command at "
+                f"t={self._last_command_ns}"
+            )
+        if self.is_busy(now_ns):
+            raise SimulationError(
+                f"VR {self.name} commanded at t={now_ns} while busy until "
+                f"t={self._busy_until}; the PMU must serialise transitions"
+            )
+        target = min(self.spec.quantize_vid(target_vcc), self.spec.vcc_max)
+        v_now = self.voltage_at(now_ns)
+        self._last_command_ns = now_ns
+        if abs(target - v_now) < 1e-12:
+            self._busy_until = now_ns
+            return now_ns
+        latency = self.spec.command_latency_ns
+        slew_ns = abs(target - v_now) / mv_to_v(self.spec.slew_mv_per_us) * 1_000.0
+        start = now_ns + latency
+        end = start + slew_ns
+        self._segments.append(_Segment(now_ns, start, v_now, v_now))
+        self._segments.append(_Segment(start, end, v_now, target))
+        self._busy_until = end
+        return end
+
+    def force_level(self, vcc: float) -> None:
+        """Reset the rail to a flat level (pre-simulation setup only).
+
+        Used by secure mode to boot with the worst-case guardband already
+        applied; not valid once commands have been issued.
+        """
+        if len(self._segments) > 1 or self._busy_until > 0.0:
+            raise SimulationError(
+                f"rail {self.name} already has history; force_level is "
+                f"setup-time only"
+            )
+        level = min(self.spec.quantize_vid(vcc), self.spec.vcc_max)
+        self._segments = [_Segment(0.0, 0.0, level, level)]
+        self._busy_until = 0.0
+
+    def history(self) -> List[Tuple[float, float]]:
+        """(time, voltage) breakpoints of the full rail history."""
+        points: List[Tuple[float, float]] = []
+        for segment in self._segments:
+            points.append((segment.t_start, segment.v_start))
+            points.append((segment.t_end, segment.v_end))
+        return points

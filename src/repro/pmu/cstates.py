@@ -1,0 +1,121 @@
+"""Core idle states (C-states) and their wake latencies.
+
+Figure 1 of the paper shows a power gate around each entire core: idle
+cores are first clock-gated (C1) and then power-gated (C6), cutting
+their contribution to the shared rail's current to (almost) nothing.
+Client processors idle more than 80 % of the day (Section 6.3), so the
+idle machinery matters for the power numbers — and it interacts with
+the covert channels only through a *constant* wake latency that the
+receiver's calibration absorbs, which the tests demonstrate.
+
+C-state modelling is opt-in (``ProcessorConfig.cstates_enabled``); the
+paper's experiments run with busy loops where it never engages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigError
+from repro.units import us_to_ns
+
+
+@enum.unique
+class CState(enum.IntEnum):
+    """Idle depth of one core (subset of the ACPI ladder)."""
+
+    C0 = 0   # active
+    C1 = 1   # clock-gated
+    C6 = 6   # power-gated (core PG of Figure 1)
+
+
+@dataclass(frozen=True)
+class CStateSpec:
+    """Entry thresholds, exit latencies, and residual Cdyn per state.
+
+    Exit latencies follow the usual client-part magnitudes: C1 wakes in
+    about a microsecond, C6 pays tens of microseconds for the staggered
+    core power-gate and state restore.
+    """
+
+    c1_entry_us: float = 5.0
+    c6_entry_us: float = 60.0
+    c1_exit_ns: float = 1_000.0
+    c6_exit_ns: float = 30_000.0
+    c1_idle_cdyn_nf: float = 0.2
+    c6_idle_cdyn_nf: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 0 < self.c1_entry_us < self.c6_entry_us:
+            raise ConfigError("entry thresholds must satisfy 0 < C1 < C6")
+        if self.c1_exit_ns < 0 or self.c6_exit_ns < self.c1_exit_ns:
+            raise ConfigError("exit latencies must satisfy 0 <= C1 <= C6")
+        if self.c1_idle_cdyn_nf < 0 or self.c6_idle_cdyn_nf < 0:
+            raise ConfigError("idle Cdyn values must be >= 0")
+
+
+@dataclass
+class CStateTracker:
+    """Lazy per-core idle-state bookkeeping.
+
+    The owner reports busy/idle transitions; queries derive the current
+    state from how long the core has been idle.  No events are needed —
+    the state only matters at the moments someone asks.
+    """
+
+    spec: CStateSpec
+    n_cores: int
+    _idle_since: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ConfigError(f"n_cores must be >= 1, got {self.n_cores}")
+        if not self._idle_since:
+            self._idle_since = [0.0] * self.n_cores
+
+    def _check(self, core: int) -> None:
+        if not 0 <= core < self.n_cores:
+            raise ConfigError(f"no such core: {core}")
+
+    def note_busy(self, core: int) -> None:
+        """The core is executing right now."""
+        self._check(core)
+        self._idle_since[core] = float("inf")
+
+    def note_idle(self, core: int, now_ns: float) -> None:
+        """The core just ran out of work at ``now_ns``."""
+        self._check(core)
+        self._idle_since[core] = now_ns
+
+    def state_at(self, core: int, now_ns: float) -> CState:
+        """Idle depth of ``core`` at ``now_ns``."""
+        self._check(core)
+        idle_since = self._idle_since[core]
+        if idle_since == float("inf"):
+            return CState.C0
+        idle_ns = now_ns - idle_since
+        if idle_ns >= us_to_ns(self.spec.c6_entry_us):
+            return CState.C6
+        if idle_ns >= us_to_ns(self.spec.c1_entry_us):
+            return CState.C1
+        return CState.C0
+
+    def wake_latency_ns(self, core: int, now_ns: float) -> float:
+        """Exit latency the next execution on ``core`` pays."""
+        state = self.state_at(core, now_ns)
+        if state == CState.C6:
+            return self.spec.c6_exit_ns
+        if state == CState.C1:
+            return self.spec.c1_exit_ns
+        return 0.0
+
+    def idle_cdyn_nf(self, core: int, now_ns: float) -> float:
+        """Residual switched capacitance of an idle core at ``now_ns``."""
+        state = self.state_at(core, now_ns)
+        if state == CState.C6:
+            return self.spec.c6_idle_cdyn_nf
+        if state == CState.C1:
+            return self.spec.c1_idle_cdyn_nf
+        return 0.0

@@ -1,0 +1,67 @@
+"""Software frequency governors (Section 5.7).
+
+Linux cpufreq governors pick the *requested* package frequency; the
+hardware then clamps it by turbo licenses and the Icc_max/Vcc_max limit
+protection.  The paper verifies that the throttling mechanism IChannels
+exploits persists under ``userspace``, ``powersave`` and ``performance``
+alike, because the throttle is implemented inside the core for
+nanosecond-scale response and no software knob disables it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@enum.unique
+class GovernorKind(enum.Enum):
+    """The three policies the paper tests."""
+
+    PERFORMANCE = "performance"
+    POWERSAVE = "powersave"
+    USERSPACE = "userspace"
+
+
+@dataclass
+class Governor:
+    """A software policy choosing the requested package frequency.
+
+    Parameters
+    ----------
+    kind:
+        Which policy to apply.
+    min_ghz / max_ghz:
+        The package's frequency range.
+    userspace_ghz:
+        The pinned frequency for the ``userspace`` policy.
+    """
+
+    kind: GovernorKind
+    min_ghz: float
+    max_ghz: float
+    userspace_ghz: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.min_ghz <= 0 or self.max_ghz < self.min_ghz:
+            raise ConfigError(f"bad frequency range [{self.min_ghz}, {self.max_ghz}]")
+        if self.kind == GovernorKind.USERSPACE:
+            if self.userspace_ghz is None:
+                raise ConfigError("userspace governor needs userspace_ghz")
+            if not self.min_ghz <= self.userspace_ghz <= self.max_ghz:
+                raise ConfigError(
+                    f"userspace frequency {self.userspace_ghz} outside "
+                    f"[{self.min_ghz}, {self.max_ghz}]"
+                )
+
+    def requested_freq_ghz(self) -> float:
+        """The frequency this policy asks the PMU for."""
+        if self.kind == GovernorKind.PERFORMANCE:
+            return self.max_ghz
+        if self.kind == GovernorKind.POWERSAVE:
+            return self.min_ghz
+        assert self.userspace_ghz is not None
+        return self.userspace_ghz

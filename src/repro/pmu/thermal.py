@@ -1,0 +1,96 @@
+"""First-order RC thermal model of the package.
+
+Junction temperature follows ``dT/dt = (P * R_th - (T - T_ambient)) / tau``
+with ``tau = R_th * C_th`` in the range of seconds — three to six orders
+of magnitude slower than the current-management throttling the paper
+studies.  The model exists to *demonstrate the negative*: during the
+microsecond-scale experiments the junction temperature barely moves and
+never approaches ``Tj_max``, confirming Key Conclusion 2 (the frequency
+drops after PHIs are current-limit protection, not thermal management).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.units import ns_to_s
+
+
+@dataclass(frozen=True)
+class ThermalSpec:
+    """Thermal parameters of a package.
+
+    Parameters
+    ----------
+    r_th_c_per_w:
+        Junction-to-ambient thermal resistance (degC per watt).
+    tau_s:
+        Thermal time constant in seconds (R_th * C_th).
+    t_ambient_c:
+        Ambient / heatsink reference temperature.
+    tj_max_c:
+        Maximum junction temperature before thermal throttling.
+    """
+
+    r_th_c_per_w: float = 0.9
+    tau_s: float = 4.0
+    t_ambient_c: float = 45.0
+    tj_max_c: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.r_th_c_per_w <= 0 or self.tau_s <= 0:
+            raise ConfigError("thermal resistance and time constant must be positive")
+        if self.tj_max_c <= self.t_ambient_c:
+            raise ConfigError("Tj_max must exceed ambient")
+
+
+@dataclass
+class ThermalModel:
+    """Lazily-integrated junction temperature.
+
+    Call :meth:`advance` with the current (piecewise-constant) package
+    power at every power step; the model integrates the exact exponential
+    response over the elapsed span.
+    """
+
+    spec: ThermalSpec
+    temperature_c: float = field(default=0.0)
+    _last_update_ns: float = field(default=0.0)
+    _power_w: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.temperature_c == 0.0:
+            self.temperature_c = self.spec.t_ambient_c
+
+    def advance(self, now_ns: float, power_w: float) -> float:
+        """Integrate up to ``now_ns``; then apply ``power_w`` onward.
+
+        Returns the junction temperature at ``now_ns``.
+        """
+        if now_ns < self._last_update_ns:
+            raise ConfigError(
+                f"thermal model cannot run backwards: {now_ns} < {self._last_update_ns}"
+            )
+        if power_w < 0:
+            raise ConfigError(f"power must be >= 0, got {power_w}")
+        dt_s = ns_to_s(now_ns - self._last_update_ns)
+        steady = self.spec.t_ambient_c + self._power_w * self.spec.r_th_c_per_w
+        decay = math.exp(-dt_s / self.spec.tau_s)
+        self.temperature_c = steady + (self.temperature_c - steady) * decay
+        self._last_update_ns = now_ns
+        self._power_w = power_w
+        return self.temperature_c
+
+    def read(self, now_ns: float) -> float:
+        """Junction temperature at ``now_ns`` without changing the power."""
+        return self.advance(now_ns, self._power_w)
+
+    def is_throttling(self, now_ns: float) -> bool:
+        """True when the junction is at or above ``Tj_max``."""
+        return self.read(now_ns) >= self.spec.tj_max_c
+
+    def headroom_c(self, now_ns: float) -> float:
+        """Degrees of margin below ``Tj_max``."""
+        return self.spec.tj_max_c - self.read(now_ns)

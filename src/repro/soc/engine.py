@@ -1,0 +1,116 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event loop: callbacks are ordered by (time,
+sequence number), so events scheduled earlier at the same timestamp run
+first.  Everything in the simulator — voltage settles, loop completions,
+hysteresis expiries, noise arrivals — is an :class:`EventHandle` on this
+queue.
+
+Programs (covert-channel senders/receivers, workload drivers) are written
+as Python generators that ``yield`` request objects; the
+:class:`~repro.soc.system.System` resumes them when the request completes.
+The engine itself knows nothing about programs; it only runs callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time_ns: float
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A scheduled callback that can be cancelled before it fires."""
+
+    __slots__ = ("time_ns", "callback", "args", "cancelled")
+
+    def __init__(self, time_ns: float, callback: Callable[..., Any],
+                 args: Tuple[Any, ...]) -> None:
+        self.time_ns = time_ns
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+
+
+class Engine:
+    """The event queue and simulation clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[_QueueEntry] = []
+        self._seq = itertools.count()
+        self.now: float = 0.0
+        self.events_run: int = 0
+
+    def schedule(self, delay_ns: float, callback: Callable[..., Any],
+                 *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay_ns`` from now."""
+        if delay_ns < -1e-9:
+            raise SimulationError(
+                f"cannot schedule {delay_ns} ns in the past at t={self.now}"
+            )
+        return self.schedule_at(self.now + max(0.0, delay_ns), callback, *args)
+
+    def schedule_at(self, time_ns: float, callback: Callable[..., Any],
+                    *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute time ``time_ns``."""
+        if time_ns < self.now - 1e-9:
+            raise SimulationError(
+                f"cannot schedule at t={time_ns} before now={self.now}"
+            )
+        handle = EventHandle(max(time_ns, self.now), callback, args)
+        heapq.heappush(self._heap, _QueueEntry(handle.time_ns, next(self._seq), handle))
+        return handle
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or None when idle."""
+        while self._heap and self._heap[0].handle.cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time_ns if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.handle.cancelled:
+                continue
+            self.now = entry.time_ns
+            self.events_run += 1
+            entry.handle.callback(*entry.handle.args)
+            return True
+        return False
+
+    def run_until(self, time_ns: float) -> None:
+        """Run every event up to and including ``time_ns``.
+
+        The clock ends exactly at ``time_ns`` even if the queue drains
+        earlier, so traces sampled afterwards cover the full span.
+        """
+        if time_ns < self.now:
+            raise SimulationError(f"cannot run backwards to {time_ns} from {self.now}")
+        while True:
+            upcoming = self.peek_time()
+            if upcoming is None or upcoming > time_ns:
+                break
+            self.step()
+        self.now = time_ns
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Run until the queue drains (bounded by ``max_events``)."""
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise SimulationError(f"engine exceeded {max_events} events; runaway loop?")

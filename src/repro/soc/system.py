@@ -1,0 +1,694 @@
+"""The simulated SoC: cores, threads, PMU, PDN and program execution.
+
+A :class:`System` wires a :class:`~repro.soc.config.ProcessorConfig` into a
+running machine on top of the event engine:
+
+* every core has ``smt_per_core`` hardware threads;
+* programs are Python generators that ``yield`` requests made by the
+  system's :meth:`System.sleep`, :meth:`System.until` and
+  :meth:`System.execute` builders;
+* executing a loop of a power-hungry class raises a voltage request with
+  the central PMU; while the request is outstanding the core's delivery
+  is throttled to a quarter rate (the IDQ 1-of-4 gate of Section 5.6),
+  which is exactly the observable the covert channels measure;
+* noise processes may suspend threads (interrupts, context switches).
+
+Execution timing uses the *recompute* pattern: each in-flight loop tracks
+its remaining instructions and current rate; every state change (throttle
+engage/release, frequency change, sibling start/stop, suspension) updates
+progress and reschedules the completion event.  The cycle-level model in
+:mod:`repro.microarch.pipeline` independently validates the rate factors
+used here (quarter-rate throttling, SMT sharing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+from repro.isa.instructions import IClass
+from repro.isa.workload import Loop, PhaseTrace, uniform_loop
+from repro.measure.trace import StepTrace
+from repro.microarch.tsc import TimestampCounter
+from repro.pdn.droop import DroopModel, DroopSpec
+from repro.pdn.guardband import GuardbandModel
+from repro.pdn.loadline import LoadLine
+from repro.pdn.powergate import PowerGate, PowerGateSpec
+from repro.pdn.regulator import VoltageRegulator, ldo_spec
+from repro.pmu.central import CentralPMU, PMUConfig
+from repro.pmu.cstates import CStateSpec, CStateTracker
+from repro.pmu.dvfs import pstate_ladder
+from repro.pmu.governors import Governor
+from repro.pmu.limits import LimitPolicy
+from repro.pmu.local import LocalPMU
+from repro.pmu.thermal import ThermalModel
+from repro.soc.config import ProcessorConfig
+from repro.soc.engine import Engine, EventHandle
+from repro.units import mohm_to_ohm, us_to_ns
+
+#: Throttle divides the delivery rate by this factor (1 open cycle in 4).
+THROTTLE_FACTOR = 4.0
+
+#: Effective switched capacitance (nF) of an idle, clock-gated core.
+IDLE_CDYN_NF = 0.5
+
+
+@dataclass(frozen=True)
+class SystemOptions:
+    """Behavioural switches, including the paper's mitigations.
+
+    Parameters
+    ----------
+    per_core_vr:
+        Give each core its own rail (Section 7 'Fast Per-core Voltage
+        Regulators'); kills the cross-core serialisation.
+    ldo_rails:
+        Use fast LDO regulator specs instead of the part's native VR.
+    improved_throttling:
+        Gate only PHI uops of the offending thread instead of the whole
+        core (Section 7 'Improved Core Throttling').
+    secure_mode:
+        Pin guardbands at the worst case; no transitions, no throttling
+        (Section 7 'A New Secure Mode of Operation').
+    disable_throttling:
+        ABLATION ONLY: let PHIs run at full rate without waiting for
+        their guardband.  The droop model then reports the voltage
+        emergencies the real mechanism exists to prevent
+        (:attr:`System.voltage_emergencies`).
+    """
+
+    per_core_vr: bool = False
+    ldo_rails: bool = False
+    improved_throttling: bool = False
+    secure_mode: bool = False
+    disable_throttling: bool = False
+
+
+@dataclass(frozen=True)
+class ExecResult:
+    """What a program observes after one :meth:`System.execute`."""
+
+    start_ns: float
+    end_ns: float
+    start_tsc: int
+    end_tsc: int
+    instructions: int
+    iterations: int
+    throttled_ns: float
+    gate_wake_ns: float
+
+    @property
+    def elapsed_ns(self) -> float:
+        """Wall time of the loop."""
+        return self.end_ns - self.start_ns
+
+    @property
+    def elapsed_tsc(self) -> int:
+        """TSC ticks of the loop — what ``rdtsc``-based receivers read."""
+        return self.end_tsc - self.start_tsc
+
+
+# -- program requests ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SleepReq:
+    delay_ns: float
+
+
+@dataclass(frozen=True)
+class _UntilReq:
+    time_ns: float
+
+
+@dataclass(frozen=True)
+class _ExecReq:
+    thread_id: int
+    loop: Loop
+
+
+class _Process:
+    """A running program generator."""
+
+    def __init__(self, gen: Generator, name: str) -> None:
+        self.gen = gen
+        self.name = name
+        self.done = False
+        self.result: Any = None
+
+
+class _Activity:
+    """One in-flight Execute on a hardware thread."""
+
+    __slots__ = (
+        "loop", "remaining", "rate", "rate_throttled", "last_update",
+        "start_ns", "start_tsc", "gate_wake_ns", "throttled_ns",
+        "completion", "resume", "emergency_checked",
+    )
+
+    def __init__(self, loop: Loop, start_ns: float, start_tsc: int,
+                 gate_wake_ns: float,
+                 resume: Callable[[ExecResult], None]) -> None:
+        self.loop = loop
+        self.remaining = float(loop.total_instructions)
+        self.rate = 0.0
+        self.rate_throttled = False
+        self.last_update = start_ns + gate_wake_ns
+        self.start_ns = start_ns
+        self.start_tsc = start_tsc
+        self.gate_wake_ns = gate_wake_ns
+        self.throttled_ns = 0.0
+        self.completion: Optional[EventHandle] = None
+        self.resume = resume
+        self.emergency_checked = False
+
+
+class _HWThread:
+    """One hardware thread (SMT context) of a core."""
+
+    __slots__ = ("thread_id", "core_id", "smt_slot", "activity", "suspensions")
+
+    def __init__(self, thread_id: int, core_id: int, smt_slot: int) -> None:
+        self.thread_id = thread_id
+        self.core_id = core_id
+        self.smt_slot = smt_slot
+        self.activity: Optional[_Activity] = None
+        self.suspensions = 0
+
+    @property
+    def runnable(self) -> bool:
+        """Has work and is not suspended by an interrupt/context switch."""
+        return self.activity is not None and self.suspensions == 0
+
+
+class System:
+    """A simulated processor executing programs."""
+
+    def __init__(self, config: ProcessorConfig,
+                 options: SystemOptions = SystemOptions(),
+                 governor_freq_ghz: Optional[float] = None,
+                 governor: Optional["Governor"] = None,
+                 seed: int = 2021) -> None:
+        self.config = config
+        self.options = options
+        self.engine = Engine()
+        self.rng = np.random.default_rng(seed)
+        self.tsc = TimestampCounter(config.base_freq_ghz)
+
+        if governor is not None and governor_freq_ghz is not None:
+            raise ConfigError(
+                "pass either governor or governor_freq_ghz, not both"
+            )
+        if governor is not None:
+            requested = governor.requested_freq_ghz()
+        elif governor_freq_ghz is not None:
+            requested = governor_freq_ghz
+        else:
+            requested = config.base_freq_ghz
+        if not config.min_freq_ghz <= requested <= config.max_turbo_ghz:
+            raise ConfigError(
+                f"requested frequency {requested} GHz outside "
+                f"[{config.min_freq_ghz}, {config.max_turbo_ghz}]"
+            )
+
+        loadline = LoadLine(mohm_to_ohm(config.r_ll_mohm))
+        self.guardband = GuardbandModel(loadline)
+        self.droop = DroopModel(DroopSpec(), loadline.r_ll_ohm)
+        #: (time_ns, core, load_voltage, vcc_min) of each di/dt violation;
+        #: empty unless throttling is ablated (the mechanism's whole point).
+        self.voltage_emergencies: List[tuple] = []
+        curve = config.vf_curve()
+        self.limits = LimitPolicy(curve, self.guardband, config.vcc_max, config.icc_max)
+        ladder = pstate_ladder(curve, config.min_freq_ghz, config.max_turbo_ghz,
+                               config.pstate_step_ghz)
+
+        vr_spec = config.vr_spec()
+        if options.ldo_rails:
+            vr_spec = ldo_spec(config.vcc_max, config.icc_max,
+                               vid_step_mv=config.vid_step_mv)
+        v0 = vr_spec.quantize_vid(curve.vcc_for(requested))
+        if options.per_core_vr or config.per_core_rails:
+            rails = [
+                VoltageRegulator(vr_spec, v0, name=f"vr_core{i}")
+                for i in range(config.n_cores)
+            ]
+            rail_of_core = list(range(config.n_cores))
+        else:
+            rails = [VoltageRegulator(vr_spec, v0, name="vr_shared")]
+            rail_of_core = [0] * config.n_cores
+
+        self.pmu = CentralPMU(
+            engine=self.engine,
+            rails=rails,
+            rail_of_core=rail_of_core,
+            guardband=self.guardband,
+            curve=curve,
+            limits=self.limits,
+            ladder=ladder,
+            licenses=config.license_table(),
+            requested_freq_ghz=requested,
+            config=PMUConfig(
+                pll_relock_ns=config.pll_relock_ns,
+                secure_mode=options.secure_mode,
+            ),
+        )
+        self.pmu.on_state_change = self._on_pmu_state_change
+
+        gate_spec = PowerGateSpec(present=config.avx_pg_present,
+                                  wake_ns=config.pg_wake_ns)
+        self.local_pmus = [
+            LocalPMU(
+                core_id=i,
+                reset_time_ns=us_to_ns(config.reset_time_us),
+                avx256_gate=PowerGate(gate_spec, name=f"c{i}_avx256_pg"),
+                avx512_gate=PowerGate(gate_spec, name=f"c{i}_avx512_pg"),
+            )
+            for i in range(config.n_cores)
+        ]
+        self.thermal = ThermalModel(config.thermal)
+        self.cstates: Optional[CStateTracker] = (
+            CStateTracker(CStateSpec(), config.n_cores)
+            if config.cstates_enabled else None
+        )
+
+        self.threads = [
+            _HWThread(thread_id=core * config.smt_per_core + slot,
+                      core_id=core, smt_slot=slot)
+            for core in range(config.n_cores)
+            for slot in range(config.smt_per_core)
+        ]
+        self._hysteresis_checks: List[Optional[EventHandle]] = [None] * config.n_cores
+        self._processes: List[_Process] = []
+
+        # Observable traces.
+        self.freq_trace: StepTrace = StepTrace("freq_ghz")
+        self.cdyn_trace: StepTrace = StepTrace("cdyn_nf")
+        self.throttle_traces: List[StepTrace] = [
+            StepTrace(f"core{i}_throttled") for i in range(config.n_cores)
+        ]
+        self.activity_traces: List[StepTrace] = [
+            StepTrace(f"core{i}_class") for i in range(config.n_cores)
+        ]
+        self.temp_trace: StepTrace = StepTrace("tj_c")
+        self.freq_trace.record(0.0, self.pmu.freq_ghz)
+        self._record_state()
+
+        # Apply license/limit clamping for the initial operating point.
+        self.pmu.set_requested_freq(requested)
+
+    # -- time and measurement ---------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in ns."""
+        return self.engine.now
+
+    def rdtsc(self) -> int:
+        """Read the invariant timestamp counter."""
+        return self.tsc.read(self.engine.now)
+
+    def vcc_at(self, t_ns: float, core: int = 0) -> float:
+        """Rail voltage feeding ``core`` at time ``t_ns``."""
+        return self.pmu.core_voltage(core, t_ns)
+
+    def icc_at(self, t_ns: float) -> float:
+        """Package supply current at ``t_ns`` (Cdyn * V * f)."""
+        cdyn = self.cdyn_trace.value_at(t_ns, default=0.0)
+        freq = self.freq_trace.value_at(t_ns, default=self.pmu.freq_ghz)
+        vcc = self.vcc_at(t_ns)
+        return float(cdyn) * vcc * float(freq)
+
+    def power_at(self, t_ns: float) -> float:
+        """Package power at ``t_ns``."""
+        return self.icc_at(t_ns) * self.vcc_at(t_ns)
+
+    def thread_on(self, core: int, smt_slot: int = 0) -> int:
+        """Thread id of SMT slot ``smt_slot`` on ``core``."""
+        if not 0 <= core < self.config.n_cores:
+            raise ConfigError(f"no such core: {core}")
+        if not 0 <= smt_slot < self.config.smt_per_core:
+            raise ConfigError(
+                f"{self.config.codename} has {self.config.smt_per_core} "
+                f"SMT slots per core, asked for slot {smt_slot}"
+            )
+        return core * self.config.smt_per_core + smt_slot
+
+    # -- program API -----------------------------------------------------------
+
+    def sleep(self, delay_ns: float) -> _SleepReq:
+        """Request: pause the program for ``delay_ns``."""
+        if delay_ns < 0:
+            raise ConfigError(f"sleep must be >= 0, got {delay_ns}")
+        return _SleepReq(delay_ns)
+
+    def until(self, time_ns: float) -> _UntilReq:
+        """Request: pause the program until absolute time ``time_ns``."""
+        return _UntilReq(time_ns)
+
+    def execute(self, thread_id: int, loop: Loop) -> _ExecReq:
+        """Request: run ``loop`` on hardware thread ``thread_id``."""
+        self._thread(thread_id)  # validate
+        if loop.iclass.width_bits > self.config.max_vector_bits:
+            raise ConfigError(
+                f"{self.config.codename} has no {loop.iclass.width_bits}-bit "
+                f"vector unit"
+            )
+        return _ExecReq(thread_id, loop)
+
+    def spawn(self, gen: Generator, name: str = "program") -> _Process:
+        """Start a program generator as a simulation process."""
+        process = _Process(gen, name)
+        self._processes.append(process)
+        self.engine.schedule(0.0, self._advance, process, None)
+        return process
+
+    def run_until(self, time_ns: float) -> None:
+        """Advance the simulation to ``time_ns``."""
+        self.engine.run_until(time_ns)
+
+    def run_to_completion(self, max_events: int = 10_000_000) -> None:
+        """Run until every scheduled event (and program) has finished."""
+        self.engine.run(max_events)
+
+    def apply_governor(self, governor: Governor) -> None:
+        """Apply a software frequency policy at runtime (Section 5.7).
+
+        The governor only picks the *requested* frequency; hardware
+        current management (licenses, limits, throttling) still applies
+        on top and cannot be disabled from software.
+        """
+        requested = governor.requested_freq_ghz()
+        if not self.config.min_freq_ghz <= requested <= self.config.max_turbo_ghz:
+            raise ConfigError(
+                f"governor requested {requested} GHz outside "
+                f"[{self.config.min_freq_ghz}, {self.config.max_turbo_ghz}]"
+            )
+        self.pmu.set_requested_freq(requested)
+
+    # -- noise hooks ------------------------------------------------------------
+
+    def suspend_thread(self, thread_id: int) -> None:
+        """Preempt a thread (interrupt/context-switch arrival)."""
+        thread = self._thread(thread_id)
+        thread.suspensions += 1
+        self._recompute_core(thread.core_id)
+
+    def resume_thread(self, thread_id: int) -> None:
+        """Return a preempted thread to execution."""
+        thread = self._thread(thread_id)
+        if thread.suspensions <= 0:
+            raise SimulationError(f"thread {thread_id} resumed while not suspended")
+        thread.suspensions -= 1
+        self._recompute_core(thread.core_id)
+
+    # -- workload helpers ---------------------------------------------------------
+
+    def trace_program(self, thread_id: int, trace: PhaseTrace) -> Generator:
+        """A program that plays a :class:`PhaseTrace` on a thread."""
+
+        def run() -> Generator:
+            for phase in trace:
+                loop = uniform_loop(
+                    phase.iclass,
+                    duration_us=phase.duration_ns / 1_000.0,
+                    freq_ghz=self.pmu.freq_ghz,
+                )
+                yield self.execute(thread_id, loop)
+            return None
+
+        return run()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _thread(self, thread_id: int) -> _HWThread:
+        if not 0 <= thread_id < len(self.threads):
+            raise ConfigError(f"no such hardware thread: {thread_id}")
+        return self.threads[thread_id]
+
+    def _advance(self, process: _Process, send_value: Any) -> None:
+        if process.done:
+            raise SimulationError(f"process {process.name} resumed after finish")
+        try:
+            request = process.gen.send(send_value)
+        except StopIteration as stop:
+            process.done = True
+            process.result = stop.value
+            return
+        if isinstance(request, _SleepReq):
+            self.engine.schedule(request.delay_ns, self._advance, process, None)
+        elif isinstance(request, _UntilReq):
+            delay = max(0.0, request.time_ns - self.engine.now)
+            self.engine.schedule(delay, self._advance, process, None)
+        elif isinstance(request, _ExecReq):
+            self._start_execute(
+                request.thread_id, request.loop,
+                lambda result: self._advance(process, result),
+            )
+        else:
+            raise SimulationError(
+                f"process {process.name} yielded unknown request {request!r}"
+            )
+
+    def _start_execute(self, thread_id: int, loop: Loop,
+                       resume: Callable[[ExecResult], None]) -> None:
+        thread = self._thread(thread_id)
+        if thread.activity is not None:
+            raise SimulationError(
+                f"thread {thread_id} already has an execute in flight"
+            )
+        now = self.engine.now
+        core = thread.core_id
+        local = self.local_pmus[core]
+        wake = 0.0
+        if self.cstates is not None:
+            # Waking a clock/power-gated core pays the C-state exit
+            # latency before anything else runs.
+            wake += self.cstates.wake_latency_ns(core, now)
+            self.cstates.note_busy(core)
+        wake += local.gate_wake_latency(loop.iclass, now + wake)
+        local.note_execute(loop.iclass, now)
+        thread.activity = _Activity(loop, now, self.rdtsc(), wake, resume)
+        self.pmu.set_core_active(core, True)
+        self.pmu.request_up(core, loop.iclass)
+        self._schedule_hysteresis_check(core)
+        self._recompute_core(core)
+
+    def _finish_execute(self, thread: _HWThread) -> None:
+        activity = thread.activity
+        assert activity is not None
+        now = self.engine.now
+        result = ExecResult(
+            start_ns=activity.start_ns,
+            end_ns=now,
+            start_tsc=activity.start_tsc,
+            end_tsc=self.rdtsc(),
+            instructions=activity.loop.total_instructions,
+            iterations=activity.loop.iterations,
+            throttled_ns=activity.throttled_ns,
+            gate_wake_ns=activity.gate_wake_ns,
+        )
+        self.local_pmus[thread.core_id].note_execute(activity.loop.iclass, now)
+        thread.activity = None
+        core_busy = any(
+            t.activity is not None
+            for t in self.threads
+            if t.core_id == thread.core_id
+        )
+        if self.cstates is not None and not core_busy:
+            self.cstates.note_idle(thread.core_id, now)
+        self.pmu.set_core_active(thread.core_id, core_busy)
+        self._recompute_core(thread.core_id)
+        activity.resume(result)
+
+    def _thread_throttled(self, thread: _HWThread) -> bool:
+        if self.options.disable_throttling:
+            return False
+        if not self.pmu.is_core_throttled(thread.core_id):
+            return False
+        if not self.options.improved_throttling:
+            return True
+        activity = thread.activity
+        return activity is not None and activity.loop.iclass.is_phi
+
+    def _rate_of(self, thread: _HWThread, runnable_siblings: int) -> float:
+        activity = thread.activity
+        if activity is None or thread.suspensions > 0:
+            return 0.0
+        freq = self.pmu.freq_ghz
+        rate = activity.loop.iclass.ipc * freq / max(1, runnable_siblings)
+        if self._thread_throttled(thread):
+            rate /= THROTTLE_FACTOR
+        return rate
+
+    def _recompute_core(self, core: int) -> None:
+        now = self.engine.now
+        members = [t for t in self.threads if t.core_id == core]
+        runnable = sum(1 for t in members if t.runnable)
+        for thread in members:
+            activity = thread.activity
+            if activity is None:
+                continue
+            self._update_progress(thread, now)
+            activity.rate = self._rate_of(thread, runnable)
+            activity.rate_throttled = self._thread_throttled(thread)
+            self._check_voltage_emergency(thread)
+            self._reschedule_completion(thread)
+        self._record_state()
+
+    def _recompute_all(self) -> None:
+        for core in range(self.config.n_cores):
+            self._recompute_core(core)
+
+    def _on_pmu_state_change(self) -> None:
+        self.freq_trace.record(self.engine.now, self.pmu.freq_ghz)
+        self._recompute_all()
+
+    def _update_progress(self, thread: _HWThread, now: float) -> None:
+        activity = thread.activity
+        assert activity is not None
+        elapsed = now - activity.last_update
+        if elapsed <= 0:
+            return
+        done = activity.rate * elapsed
+        activity.remaining = max(0.0, activity.remaining - done)
+        if activity.rate_throttled and activity.rate > 0:
+            activity.throttled_ns += elapsed
+        activity.last_update = now
+        self.local_pmus[thread.core_id].touch_gates(activity.loop.iclass, now)
+        self.local_pmus[thread.core_id].note_execute(activity.loop.iclass, now)
+
+    def _reschedule_completion(self, thread: _HWThread) -> None:
+        activity = thread.activity
+        assert activity is not None
+        if activity.completion is not None:
+            activity.completion.cancel()
+            activity.completion = None
+        if activity.remaining <= 1e-9:
+            self.engine.schedule(0.0, self._complete, thread, activity)
+            return
+        if activity.rate <= 0.0:
+            return  # resumes when a recompute raises the rate
+        eta = activity.last_update + activity.remaining / activity.rate
+        delay = max(0.0, eta - self.engine.now)
+        activity.completion = self.engine.schedule(delay, self._complete,
+                                                   thread, activity)
+
+    def _complete(self, thread: _HWThread, activity: _Activity) -> None:
+        if thread.activity is not activity:
+            return  # stale completion after the activity already finished
+        self._update_progress(thread, self.engine.now)
+        if activity.remaining > 1e-6:
+            self._reschedule_completion(thread)
+            return
+        self._finish_execute(thread)
+
+    def _check_voltage_emergency(self, thread: _HWThread) -> None:
+        """Record a di/dt violation when a PHI outruns its guardband.
+
+        A thread executing above the core's granted level steps the load
+        current by the class's Cdyn delta; throttling quarters that step
+        while the rail catches up, which is exactly what keeps the load
+        above Vcc_min.  With throttling ablated the full step hits an
+        unprepared rail and the droop model flags the emergency the real
+        mechanism prevents (Key Conclusion 1).
+        """
+        activity = thread.activity
+        if activity is None or activity.emergency_checked:
+            return
+        if thread.suspensions > 0 or activity.rate <= 0.0:
+            return
+        core = thread.core_id
+        iclass = activity.loop.iclass
+        granted = self.pmu.granted[core]
+        if iclass <= granted:
+            return
+        activity.emergency_checked = True
+        now = self.engine.now
+        freq = self.pmu.freq_ghz
+        vcc_rail = self.pmu.core_voltage(core, now)
+        cdyn_step = iclass.cdyn_nf - granted.cdyn_nf
+        factor = 0.25 if activity.rate_throttled else 1.0
+        icc_before = granted.cdyn_nf * vcc_rail * freq
+        icc_after = icc_before + cdyn_step * vcc_rail * freq * factor
+        vcc_min = self.pmu.curve.vcc_for(freq) - self.config.droop_margin_mv / 1000.0
+        load_min = self.droop.load_voltage_min(vcc_rail, icc_before, icc_after)
+        if load_min < vcc_min:
+            self.voltage_emergencies.append((now, core, load_min, vcc_min))
+
+    # -- hysteresis -------------------------------------------------------------------
+
+    def _core_requirement(self, core: int, now: float) -> IClass:
+        requirement = self.local_pmus[core].requirement(now)
+        for thread in self.threads:
+            if thread.core_id == core and thread.activity is not None:
+                running = thread.activity.loop.iclass
+                if running > requirement:
+                    requirement = running
+        return requirement
+
+    def _schedule_hysteresis_check(self, core: int) -> None:
+        pending = self._hysteresis_checks[core]
+        if pending is not None:
+            pending.cancel()
+        expiry = self.local_pmus[core].next_expiry_ns(self.engine.now)
+        if expiry is None:
+            self._hysteresis_checks[core] = None
+            return
+        delay = max(0.0, expiry - self.engine.now) + 1.0
+        self._hysteresis_checks[core] = self.engine.schedule(
+            delay, self._hysteresis_check, core,
+        )
+
+    def _hysteresis_check(self, core: int) -> None:
+        self._hysteresis_checks[core] = None
+        now = self.engine.now
+        # A still-running loop keeps its class fresh even with no events.
+        for thread in self.threads:
+            if thread.core_id == core and thread.activity is not None:
+                self.local_pmus[core].note_execute(
+                    thread.activity.loop.iclass, now,
+                )
+        requirement = self._core_requirement(core, now)
+        if requirement < self.pmu.granted[core]:
+            self.pmu.request_down(core, requirement)
+        self._schedule_hysteresis_check(core)
+
+    # -- tracing --------------------------------------------------------------------------
+
+    def _core_cdyn(self, core: int) -> float:
+        classes = [
+            t.activity.loop.iclass
+            for t in self.threads
+            if t.core_id == core and t.runnable and t.activity is not None
+        ]
+        if not classes:
+            if self.cstates is not None:
+                return self.cstates.idle_cdyn_nf(core, self.engine.now)
+            return IDLE_CDYN_NF
+        return max(c.cdyn_nf for c in classes)
+
+    def _record_state(self) -> None:
+        now = self.engine.now
+        total_cdyn = sum(self._core_cdyn(core) for core in range(self.config.n_cores))
+        self.cdyn_trace.record(now, total_cdyn)
+        self.freq_trace.record(now, self.pmu.freq_ghz)
+        for core in range(self.config.n_cores):
+            self.throttle_traces[core].record(
+                now, 1 if self.pmu.is_core_throttled(core) else 0,
+            )
+            classes = [
+                t.activity.loop.iclass
+                for t in self.threads
+                if t.core_id == core and t.activity is not None
+            ]
+            top = max(classes) if classes else None
+            self.activity_traces[core].record(
+                now, top.label if top is not None else "idle",
+            )
+        vcc = self.vcc_at(now)
+        freq = self.pmu.freq_ghz
+        power = total_cdyn * vcc * vcc * freq
+        self.temp_trace.record(now, self.thermal.advance(now, power))

@@ -1,0 +1,59 @@
+"""CSV export of experiment data."""
+
+import csv
+import os
+
+from repro.analysis import experiments as ex
+from repro.analysis.export import (
+    export_all,
+    export_fig10,
+    export_fig12,
+    main,
+)
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestWriters:
+    def test_fig12_csv_shape(self, tmp_path):
+        result = ex.fig12_throughput()
+        paths = export_fig12(result, str(tmp_path))
+        rows = read_csv(paths[0])
+        assert rows[0] == ["channel", "throughput_bps", "ber"]
+        assert len(rows) == 1 + len(result.throughput_bps)
+        channels = {row[0] for row in rows[1:]}
+        assert "IccThreadCovert" in channels and "POWERT" in channels
+
+    def test_fig10_csv_shape(self, tmp_path):
+        result = ex.fig10_multilevel(freqs=(1.0,), iterations=40)
+        paths = export_fig10(result, str(tmp_path))
+        sweep_rows = read_csv(paths[0])
+        assert sweep_rows[0] == ["class", "freq_ghz", "cores", "tp_us"]
+        assert len(sweep_rows) == 1 + len(result.sweep)
+        preceded_rows = read_csv(paths[1])
+        assert preceded_rows[0] == ["preceding_class", "tp_us", "level"]
+
+
+class TestExportAll:
+    def test_writes_every_artifact(self, tmp_path):
+        paths = export_all(str(tmp_path), quick=True)
+        names = {os.path.basename(p) for p in paths}
+        expected = {
+            "fig6_vcc.csv", "fig6_calculix_vcc.csv", "fig7_points.csv",
+            "fig7_freq_timeline.csv", "fig8_tp_samples.csv",
+            "fig8_iteration_deltas.csv", "fig10_sweep.csv",
+            "fig10_preceded.csv", "fig12_throughput.csv",
+            "fig13_levels.csv", "fig14_ber.csv",
+        }
+        assert expected <= names
+        for path in paths:
+            assert len(read_csv(path)) >= 2  # header plus data
+
+    def test_cli(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "results")
+        assert main(["--out-dir", out_dir]) == 0
+        printed = capsys.readouterr().out.strip().splitlines()
+        assert all(line.startswith(out_dir) for line in printed)

@@ -1,0 +1,71 @@
+"""Report generator and text rendering."""
+
+import pytest
+
+from repro.analysis.figures import (
+    ascii_bars,
+    ascii_series,
+    format_table,
+    histogram_text,
+)
+from repro.errors import MeasurementError
+
+
+class TestFigureRendering:
+    def test_ascii_bars_scale_to_max(self):
+        text = ascii_bars([("a", 10.0), ("b", 5.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_ascii_bars_rejects_empty(self):
+        with pytest.raises(MeasurementError):
+            ascii_bars([])
+
+    def test_ascii_series_has_requested_height(self):
+        text = ascii_series([0.0, 1.0, 2.0, 3.0], [0.0, 1.0, 2.0, 3.0],
+                            height=5, label="ramp")
+        assert len(text.splitlines()) == 6  # label + 5 rows
+
+    def test_ascii_series_rejects_mismatch(self):
+        with pytest.raises(MeasurementError):
+            ascii_series([1.0], [1.0, 2.0])
+
+    def test_format_table_aligns_columns(self):
+        text = format_table(["name", "v"], [["long-name", 1], ["x", 22]])
+        lines = text.splitlines()
+        assert len({line.index("1") if "1" in line else None
+                    for line in lines[2:]}) >= 1
+        assert lines[1].startswith("----")
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(MeasurementError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_histogram_text_bins(self):
+        text = histogram_text([1.0, 1.1, 5.0, 9.9], bins=3, width=10)
+        assert len(text.splitlines()) == 3
+
+    def test_histogram_text_rejects_empty(self):
+        with pytest.raises(MeasurementError):
+            histogram_text([])
+
+
+class TestReportGenerator:
+    def test_quick_report_contains_every_artifact(self):
+        from repro.analysis.report import generate_report
+
+        report = generate_report(quick=True)
+        for heading in ("Figure 6", "Figure 7", "Figure 8", "Figure 9",
+                        "Figure 10", "Figure 11", "Figure 12", "Figure 13",
+                        "Figure 14", "Table 1", "Table 2"):
+            assert heading in report, heading
+
+    def test_cli_writes_file(self, tmp_path):
+        from repro.analysis.report import main
+
+        target = tmp_path / "report.md"
+        assert main(["--quick", "-o", str(target)]) == 0
+        content = target.read_text()
+        assert content.startswith("# IChannels reproduction report")
+        assert "Table 2" in content

@@ -1,0 +1,71 @@
+"""Sensitivity sweeps (beyond-paper design-space study)."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    summarize,
+    sweep_load_line,
+    sweep_reset_time,
+    sweep_vr_slew,
+    theoretical_reset_limited_bps,
+)
+
+
+class TestSlewSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep_vr_slew(slews_mv_per_us=(0.625, 1.25, 5.0, 100.0))
+
+    def test_separation_shrinks_with_slew(self, points):
+        seps = [p.min_separation_tsc for p in points]
+        assert all(b < a for a, b in zip(seps, seps[1:]))
+
+    def test_mbvr_usable_ldo_not(self, points):
+        by_param = {p.parameter: p for p in points}
+        assert by_param[1.25].usable        # MBVR-class slew
+        assert not by_param[100.0].usable   # LDO-class slew
+
+    def test_separation_roughly_inverse_in_slew(self, points):
+        by_param = {p.parameter: p for p in points}
+        ratio = (by_param[0.625].min_separation_tsc
+                 / by_param[1.25].min_separation_tsc)
+        assert ratio == pytest.approx(2.0, rel=0.2)
+
+
+class TestResetSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep_reset_time(reset_times_us=(100.0, 650.0, 2600.0))
+
+    def test_throughput_falls_with_reset_time(self, points):
+        thr = [p.throughput_bps for p in points]
+        assert all(b < a for a, b in zip(thr, thr[1:]))
+
+    def test_separation_unaffected(self, points):
+        seps = {p.min_separation_tsc for p in points}
+        assert len(seps) == 1  # the level physics does not change
+
+    def test_throughput_tracks_theory(self, points):
+        for p in points:
+            bound = theoretical_reset_limited_bps(p.parameter)
+            assert 0.3 * bound <= p.throughput_bps <= bound * 1.05
+
+
+class TestLoadLineSweep:
+    def test_separation_scales_with_rll(self):
+        points = sweep_load_line(r_ll_mohms=(0.9, 1.8, 3.6))
+        seps = [p.min_separation_tsc for p in points]
+        assert seps[0] < seps[1] < seps[2]
+
+    def test_stiff_pdn_mitigates(self):
+        points = sweep_load_line(r_ll_mohms=(0.45, 1.8))
+        assert not points[0].usable
+        assert points[1].usable
+
+
+class TestSummarize:
+    def test_columns_align(self):
+        points = sweep_load_line(r_ll_mohms=(1.8,))
+        table = summarize(points)
+        assert table["parameter"] == [1.8]
+        assert len(table["throughput_bps"]) == 1

@@ -1,0 +1,72 @@
+"""Broadcast channel: one sender, SMT + cross-core receivers."""
+
+import pytest
+
+from repro import System, SystemOptions
+from repro.core import ChannelLocation, IccBroadcast
+from repro.core.channel import ChannelConfig
+from repro.errors import CalibrationError, ConfigError, ProtocolError
+from repro.soc.config import (
+    cannon_lake_i3_8121u,
+    coffee_lake_i7_9700k,
+    haswell_i7_4770k,
+)
+
+PAYLOAD = b"\x4d\xb2\x0f"
+
+
+class TestBroadcast:
+    def test_both_receivers_decode_the_same_payload(self):
+        broadcast = IccBroadcast(System(cannon_lake_i3_8121u()))
+        report = broadcast.transfer(PAYLOAD)
+        assert report.received[ChannelLocation.ACROSS_SMT] == PAYLOAD
+        assert report.received[ChannelLocation.ACROSS_CORES] == PAYLOAD
+        assert report.ber(ChannelLocation.ACROSS_SMT) == 0.0
+        assert report.ber(ChannelLocation.ACROSS_CORES) == 0.0
+
+    def test_single_transaction_feeds_both_receivers(self):
+        # The point of broadcasting: both receivers decode from the SAME
+        # sender transactions, so wall time matches a single transfer.
+        broadcast = IccBroadcast(System(cannon_lake_i3_8121u()))
+        report = broadcast.transfer(PAYLOAD)
+        slots = len(report.symbols_sent)
+        # Leading quiet slot + payload slots + trailing drain slot.
+        assert report.end_ns - report.start_ns <= (slots + 2) * broadcast.slot_ns
+
+    def test_works_on_haswell(self):
+        broadcast = IccBroadcast(System(haswell_i7_4770k()))
+        report = broadcast.transfer(b"\x99")
+        assert report.received[ChannelLocation.ACROSS_SMT] == b"\x99"
+        assert report.received[ChannelLocation.ACROSS_CORES] == b"\x99"
+
+    def test_needs_smt(self):
+        with pytest.raises(ConfigError):
+            IccBroadcast(System(coffee_lake_i7_9700k()))
+
+    def test_needs_distinct_cores(self):
+        with pytest.raises(ConfigError):
+            IccBroadcast(System(cannon_lake_i3_8121u()), sender_core=0,
+                         cross_core=0)
+
+    def test_empty_payload_rejected(self):
+        broadcast = IccBroadcast(System(cannon_lake_i3_8121u()))
+        with pytest.raises(ProtocolError):
+            broadcast.transfer(b"")
+
+    def test_calibrators_fitted_per_receiver(self):
+        broadcast = IccBroadcast(System(cannon_lake_i3_8121u()))
+        calibrators = broadcast.calibrate()
+        assert set(calibrators) == set(IccBroadcast.LOCATIONS)
+        # SMT and cross-core receivers see different cluster scales.
+        smt_centers = sorted(s.center for s in
+                             calibrators[ChannelLocation.ACROSS_SMT].stats.values())
+        cross_centers = sorted(s.center for s in
+                               calibrators[ChannelLocation.ACROSS_CORES].stats.values())
+        assert smt_centers != cross_centers
+
+    def test_secure_mode_kills_the_broadcast(self):
+        system = System(cannon_lake_i3_8121u(),
+                        options=SystemOptions(secure_mode=True))
+        broadcast = IccBroadcast(system, ChannelConfig(min_level_gap_tsc=500.0))
+        with pytest.raises(CalibrationError):
+            broadcast.calibrate()

@@ -1,0 +1,106 @@
+"""Burst (ascending-pair) protocol extension."""
+
+import pytest
+
+from repro import System, SystemOptions
+from repro.core import IccSMTcovert
+from repro.core.burst_channel import (
+    BurstReport,
+    IccSMTBurst,
+    pack_pairs,
+    unpack_pairs,
+)
+from repro.errors import CalibrationError, ConfigError, ProtocolError
+from repro.soc.config import cannon_lake_i3_8121u, coffee_lake_i7_9700k
+
+
+class TestPacking:
+    def test_ascending_pairs_fuse(self):
+        assert pack_pairs([0, 1]) == [(0, 1)]
+        assert pack_pairs([1, 3, 0, 2]) == [(1, 3), (0, 2)]
+
+    def test_non_ascending_stay_single(self):
+        assert pack_pairs([3, 3]) == [(3, None), (3, None)]
+        assert pack_pairs([2, 1]) == [(2, None), (1, None)]
+
+    def test_top_level_never_pairs(self):
+        assert pack_pairs([3, 0]) == [(3, None), (0, None)]
+
+    def test_roundtrip(self):
+        for stream in ([0], [0, 1, 2, 3], [3, 2, 1, 0], [1, 2, 2, 3, 0, 1]):
+            assert unpack_pairs(pack_pairs(stream)) == stream
+
+    def test_packing_never_loses_symbols(self):
+        stream = [0, 3, 1, 1, 2, 0, 3, 3, 2]
+        slots = pack_pairs(stream)
+        assert sum(1 + (s is not None) for _, s in slots) == len(stream)
+
+
+class TestBurstChannel:
+    def test_transfers_error_free(self):
+        burst = IccSMTBurst(System(cannon_lake_i3_8121u()))
+        payload = bytes(range(40, 56))
+        report = burst.transfer(payload)
+        assert report.received == payload
+        assert report.ber == 0.0
+
+    def test_faster_than_the_paper_protocol(self):
+        payload = bytes(range(1, 21))
+        burst = IccSMTBurst(System(cannon_lake_i3_8121u()))
+        base = IccSMTcovert(System(cannon_lake_i3_8121u()))
+        burst_report = burst.transfer(payload)
+        base_report = base.transfer(payload)
+        assert burst_report.ber == 0.0
+        speedup = burst_report.throughput_bps / base_report.throughput_bps
+        assert speedup > 1.2
+
+    def test_packing_efficiency_above_one(self):
+        burst = IccSMTBurst(System(cannon_lake_i3_8121u()))
+        report = burst.transfer(bytes(range(1, 17)))
+        assert report.symbols_per_slot > 1.0
+
+    def test_all_descending_degenerates_to_single_rate(self):
+        # 0xE4 encodes symbols [3, 2, 1, 0]: nothing can pair.
+        burst = IccSMTBurst(System(cannon_lake_i3_8121u()))
+        report = burst.transfer(b"\xe4")
+        assert report.symbols_per_slot == pytest.approx(1.0)
+        assert report.received == b"\xe4"
+
+    def test_all_ascending_packs_fully(self):
+        # 0x1B encodes [0, 1, 2, 3]: both pairs fuse.
+        burst = IccSMTBurst(System(cannon_lake_i3_8121u()))
+        report = burst.transfer(b"\x1b\x1b")
+        assert report.symbols_per_slot == pytest.approx(2.0)
+        assert report.received == b"\x1b\x1b"
+
+    def test_needs_smt(self):
+        with pytest.raises(ConfigError):
+            IccSMTBurst(System(coffee_lake_i7_9700k()))
+
+    def test_empty_payload_rejected(self):
+        burst = IccSMTBurst(System(cannon_lake_i3_8121u()))
+        with pytest.raises(ProtocolError):
+            burst.transfer(b"")
+
+    def test_secure_mode_kills_it_too(self):
+        system = System(cannon_lake_i3_8121u(),
+                        options=SystemOptions(secure_mode=True))
+        burst = IccSMTBurst(system)
+        with pytest.raises(CalibrationError):
+            burst.calibrate()
+
+    def test_report_accounting(self):
+        report = BurstReport(
+            sent=b"\x1b", received=b"\x1b",
+            symbols_sent=[0, 1, 2, 3], symbols_received=[0, 1, 2, 3],
+            slots_used=2, start_ns=0.0, end_ns=1e6)
+        assert report.bits == 8
+        assert report.ber == 0.0
+        assert report.symbols_per_slot == 2.0
+
+    def test_length_mismatch_counts_as_errors(self):
+        report = BurstReport(
+            sent=b"\x1b", received=b"\x1b",
+            symbols_sent=[0, 1, 2, 3], symbols_received=[0, 1, 2],
+            slots_used=2, start_ns=0.0, end_ns=1e6)
+        assert report.ber > 0.0

@@ -1,0 +1,180 @@
+"""Capacity and throughput accounting."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    binary_symmetric_capacity,
+    effective_throughput_bps,
+    symbol_channel_capacity_bps,
+)
+from repro.core.capacity import (
+    mean_ber,
+    raw_symbol_rate_bps,
+    symmetric_symbol_capacity,
+)
+from repro.errors import ProtocolError
+
+
+class TestRawRate:
+    def test_paper_headline_rate(self):
+        # 2 bits per <=690 us cycle -> ~2.9 kbps (Section 6.2).
+        assert raw_symbol_rate_bps(2, 690.0) == pytest.approx(2898.55, rel=1e-3)
+
+    def test_one_bit_channel_half_rate(self):
+        assert raw_symbol_rate_bps(1, 690.0) == pytest.approx(
+            raw_symbol_rate_bps(2, 690.0) / 2)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ProtocolError):
+            raw_symbol_rate_bps(0, 690.0)
+        with pytest.raises(ProtocolError):
+            raw_symbol_rate_bps(2, 0.0)
+
+
+class TestBSC:
+    def test_perfect_channel_capacity_one(self):
+        assert binary_symmetric_capacity(0.0) == 1.0
+
+    def test_coin_flip_channel_capacity_zero(self):
+        assert binary_symmetric_capacity(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_symmetric_in_error(self):
+        assert binary_symmetric_capacity(0.1) == pytest.approx(
+            binary_symmetric_capacity(0.9))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ProtocolError):
+            binary_symmetric_capacity(1.5)
+
+
+class TestSymbolCapacity:
+    def test_error_free_four_symbols_two_bits(self):
+        assert symmetric_symbol_capacity(4, 0.0) == pytest.approx(2.0)
+
+    def test_capacity_decreases_with_error(self):
+        caps = [symmetric_symbol_capacity(4, p) for p in (0.0, 0.05, 0.2, 0.5)]
+        assert all(b < a for a, b in zip(caps, caps[1:]))
+
+    def test_uniform_error_capacity_zero(self):
+        # p = (m-1)/m makes the output independent of the input.
+        assert symmetric_symbol_capacity(4, 0.75) == pytest.approx(0.0, abs=1e-12)
+
+    def test_bps_scales_with_cycle(self):
+        fast = symbol_channel_capacity_bps(690.0, 0.0)
+        slow = symbol_channel_capacity_bps(1380.0, 0.0)
+        assert fast == pytest.approx(2 * slow)
+
+    def test_rejects_tiny_alphabet(self):
+        with pytest.raises(ProtocolError):
+            symmetric_symbol_capacity(1, 0.0)
+
+
+class TestEffectiveThroughput:
+    def test_identity_when_clean(self):
+        assert effective_throughput_bps(2899.0, 0.0) == pytest.approx(2899.0)
+
+    def test_code_rate_discount(self):
+        assert effective_throughput_bps(1000.0, 0.0, code_rate=0.5) == 500.0
+
+    def test_duty_cycle_discount(self):
+        assert effective_throughput_bps(1000.0, 0.0, duty_cycle=0.8) == 800.0
+
+    def test_ber_discount(self):
+        assert effective_throughput_bps(1000.0, 0.1) == pytest.approx(900.0)
+
+    def test_all_discounts_compose(self):
+        result = effective_throughput_bps(1000.0, 0.1, code_rate=0.5,
+                                          duty_cycle=0.5)
+        assert result == pytest.approx(1000.0 * 0.5 * 0.5 * 0.9)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ProtocolError):
+            effective_throughput_bps(-1.0, 0.0)
+        with pytest.raises(ProtocolError):
+            effective_throughput_bps(1.0, 2.0)
+        with pytest.raises(ProtocolError):
+            effective_throughput_bps(1.0, 0.0, code_rate=0.0)
+        with pytest.raises(ProtocolError):
+            effective_throughput_bps(1.0, 0.0, duty_cycle=1.5)
+
+
+class TestMeanBER:
+    def test_average(self):
+        assert mean_ber([0.0, 0.1, 0.2]) == pytest.approx(0.1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ProtocolError):
+            mean_ber([])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ProtocolError):
+            mean_ber([0.5, 1.5])
+
+
+class TestEmpiricalCapacity:
+    def test_confusion_matrix_counts(self):
+        from repro.core.capacity import confusion_matrix
+
+        counts = confusion_matrix([0, 1, 1, 3], [0, 1, 2, 3])
+        assert counts[0][0] == 1
+        assert counts[1][1] == 1
+        assert counts[1][2] == 1
+        assert counts[3][3] == 1
+
+    def test_confusion_matrix_validation(self):
+        from repro.core.capacity import confusion_matrix
+
+        with pytest.raises(ProtocolError):
+            confusion_matrix([0], [0, 1])
+        with pytest.raises(ProtocolError):
+            confusion_matrix([], [])
+        with pytest.raises(ProtocolError):
+            confusion_matrix([4], [0])
+
+    def test_perfect_transfer_carries_two_bits(self):
+        from repro.core.capacity import (
+            confusion_matrix,
+            empirical_mutual_information,
+        )
+
+        sent = [0, 1, 2, 3] * 8
+        info = empirical_mutual_information(confusion_matrix(sent, sent))
+        assert info == pytest.approx(2.0)
+
+    def test_random_decoding_carries_nothing(self):
+        from repro.core.capacity import (
+            confusion_matrix,
+            empirical_mutual_information,
+        )
+
+        sent = [0, 1, 2, 3] * 8
+        received = [2] * len(sent)  # decoder stuck on one symbol
+        info = empirical_mutual_information(confusion_matrix(sent, received))
+        assert info == pytest.approx(0.0, abs=1e-9)
+
+    def test_partial_confusion_between_bounds(self):
+        from repro.core.capacity import (
+            confusion_matrix,
+            empirical_mutual_information,
+        )
+
+        sent = [0, 1, 2, 3] * 8
+        received = list(sent)
+        received[0] = 1  # one confused symbol
+        info = empirical_mutual_information(confusion_matrix(sent, received))
+        assert 1.5 < info < 2.0
+
+    def test_empirical_capacity_bps(self):
+        from repro.core.capacity import empirical_capacity_bps
+
+        sent = [0, 1, 2, 3] * 4
+        bps = empirical_capacity_bps(sent, sent, elapsed_ns=1e9)
+        assert bps == pytest.approx(2.0 * len(sent))
+
+    def test_empirical_capacity_rejects_bad_elapsed(self):
+        from repro.core.capacity import empirical_capacity_bps
+
+        with pytest.raises(ProtocolError):
+            empirical_capacity_bps([0], [0], elapsed_ns=0.0)

@@ -1,0 +1,190 @@
+"""End-to-end covert channel tests."""
+
+import pytest
+
+from repro import System, SystemOptions
+from repro.core import (
+    ChannelConfig,
+    IccCoresCovert,
+    IccSMTcovert,
+    IccThreadCovert,
+)
+from repro.errors import ConfigError, ProtocolError
+from repro.soc.config import (
+    cannon_lake_i3_8121u,
+    coffee_lake_i7_9700k,
+    haswell_i7_4770k,
+)
+
+
+def make_channel(cls, config=None, **kwargs):
+    system = System(config or cannon_lake_i3_8121u())
+    return cls(system, **kwargs)
+
+
+PAYLOAD = b"\x00\x55\xaa\xff4Vx"
+
+
+class TestIccThreadCovert:
+    def test_transfers_payload_error_free(self):
+        channel = make_channel(IccThreadCovert)
+        report = channel.transfer(PAYLOAD)
+        assert report.received == PAYLOAD
+        assert report.ber == 0.0
+
+    def test_throughput_in_paper_ballpark(self):
+        # Paper: ~2.9 kbps; our slot is 750 us so ~2.5 kbps.
+        channel = make_channel(IccThreadCovert)
+        report = channel.transfer(PAYLOAD)
+        assert 2000.0 < report.throughput_bps < 3000.0
+
+    def test_works_on_parts_without_avx512(self):
+        for config in (coffee_lake_i7_9700k(), haswell_i7_4770k()):
+            system = System(config, governor_freq_ghz=config.base_freq_ghz)
+            channel = IccThreadCovert(system)
+            report = channel.transfer(b"\x2a\x91")
+            assert report.received == b"\x2a\x91"
+
+    def test_probe_direction_inverted(self):
+        # Higher sender level leaves less ramp for the probe, so the L4
+        # cluster center must be the smallest.
+        channel = make_channel(IccThreadCovert)
+        calibrator = channel.calibrate()
+        centers = {s: st.center for s, st in calibrator.stats.items()}
+        assert centers[3] < centers[0]
+
+    def test_sequential_transfers_on_one_system(self):
+        channel = make_channel(IccThreadCovert)
+        first = channel.transfer(b"\x11\x22")
+        second = channel.transfer(b"\x33\x44")
+        assert first.received == b"\x11\x22"
+        assert second.received == b"\x33\x44"
+        assert second.start_ns >= first.end_ns
+
+    def test_calibration_reused_across_transfers(self):
+        channel = make_channel(IccThreadCovert)
+        first = channel.transfer(b"\x11")
+        second = channel.transfer(b"\x22")
+        assert first.retraining
+        assert not second.retraining
+
+    def test_empty_payload_rejected(self):
+        channel = make_channel(IccThreadCovert)
+        with pytest.raises(ProtocolError):
+            channel.transfer(b"")
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(ConfigError):
+            make_channel(IccThreadCovert, core=9)
+
+    def test_report_accounting(self):
+        channel = make_channel(IccThreadCovert)
+        report = channel.transfer(b"\xff")
+        assert report.bits == 8
+        assert len(report.symbols_sent) == 4
+        assert len(report.measurements_tsc) == 4
+        assert report.goodput_bps == pytest.approx(report.throughput_bps)
+
+
+class TestIccSMTcovert:
+    def test_transfers_payload_error_free(self):
+        channel = make_channel(IccSMTcovert)
+        report = channel.transfer(PAYLOAD)
+        assert report.received == PAYLOAD
+        assert report.ber == 0.0
+
+    def test_probe_direction_normal(self):
+        # Higher sender level -> longer co-throttling of the sibling.
+        channel = make_channel(IccSMTcovert)
+        calibrator = channel.calibrate()
+        centers = {s: st.center for s, st in calibrator.stats.items()}
+        assert centers[3] > centers[0]
+
+    def test_rejected_on_parts_without_smt(self):
+        # The paper evaluates IccSMTcovert only on Cannon Lake because
+        # the i7-9700K has no SMT.
+        system = System(coffee_lake_i7_9700k())
+        with pytest.raises(ConfigError):
+            IccSMTcovert(system)
+
+    def test_works_on_haswell_smt(self):
+        system = System(haswell_i7_4770k())
+        channel = IccSMTcovert(system)
+        report = channel.transfer(b"\x5c")
+        assert report.received == b"\x5c"
+
+    def test_sender_and_receiver_share_a_core(self):
+        channel = make_channel(IccSMTcovert)
+        system = channel.system
+        assert (system.threads[channel.sender_thread].core_id
+                == system.threads[channel.receiver_thread].core_id)
+
+
+class TestIccCoresCovert:
+    def test_transfers_payload_error_free(self):
+        channel = make_channel(IccCoresCovert)
+        report = channel.transfer(PAYLOAD)
+        assert report.received == PAYLOAD
+        assert report.ber == 0.0
+
+    def test_same_core_rejected(self):
+        system = System(cannon_lake_i3_8121u())
+        with pytest.raises(ConfigError):
+            IccCoresCovert(system, sender_core=0, receiver_core=0)
+
+    def test_works_across_coffee_lake_cores(self):
+        system = System(coffee_lake_i7_9700k())
+        channel = IccCoresCovert(system, sender_core=2, receiver_core=5)
+        report = channel.transfer(b"\x3d")
+        assert report.received == b"\x3d"
+
+    def test_probe_direction_normal(self):
+        channel = make_channel(IccCoresCovert)
+        calibrator = channel.calibrate()
+        centers = {s: st.center for s, st in calibrator.stats.items()}
+        assert centers[3] > centers[0]
+
+
+class TestChannelConfig:
+    def test_bad_slot_rejected(self):
+        with pytest.raises(ProtocolError):
+            ChannelConfig(slot_us=0.0)
+
+    def test_bad_iterations_rejected(self):
+        with pytest.raises(ProtocolError):
+            ChannelConfig(sender_iterations=0)
+
+    def test_too_short_slot_detected_at_runtime(self):
+        # With the adaptive slot disabled, a slot shorter than the send
+        # window cannot produce measurements for every transaction.
+        system = System(cannon_lake_i3_8121u())
+        channel = IccThreadCovert(
+            system, ChannelConfig(slot_us=20.0, adaptive_slot=False))
+        with pytest.raises(ProtocolError):
+            channel.transfer(b"\x12\x34")
+
+    def test_adaptive_slot_grows_for_slow_parts(self):
+        # A 20 us request is silently grown past the reset-time when the
+        # adaptive slot is on (the default).
+        system = System(cannon_lake_i3_8121u())
+        channel = IccThreadCovert(system, ChannelConfig(slot_us=20.0))
+        assert channel.slot_ns > 650_000.0
+        report = channel.transfer(b"\x12\x34")
+        assert report.received == b"\x12\x34"
+
+
+class TestSymbolLoops:
+    def test_sender_loop_class_matches_symbol(self):
+        channel = make_channel(IccThreadCovert)
+        for symbol in range(4):
+            assert channel.sender_loop(symbol).iclass == channel.symbol_class(symbol)
+
+    def test_bad_symbol_rejected(self):
+        channel = make_channel(IccThreadCovert)
+        with pytest.raises(ProtocolError):
+            channel.sender_loop(4)
+
+    def test_run_symbols_rejects_empty(self):
+        channel = make_channel(IccThreadCovert)
+        with pytest.raises(ProtocolError):
+            channel.run_symbols([])

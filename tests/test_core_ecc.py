@@ -1,0 +1,161 @@
+"""Error detection and correction codes."""
+
+import pytest
+
+from repro.core import CRC8, Hamming74, RepetitionCode
+from repro.errors import ProtocolError
+
+
+class TestRepetition:
+    def test_encode_repeats(self):
+        assert RepetitionCode(3).encode([1, 0]) == [1, 1, 1, 0, 0, 0]
+
+    def test_decode_majority(self):
+        code = RepetitionCode(3)
+        assert code.decode([1, 0, 1, 0, 0, 1]) == [1, 0]
+
+    def test_corrects_one_error_per_group(self):
+        code = RepetitionCode(3)
+        coded = code.encode([1, 0, 1, 1])
+        coded[0] ^= 1
+        coded[4] ^= 1
+        assert code.decode(coded) == [1, 0, 1, 1]
+
+    def test_rate(self):
+        assert RepetitionCode(5).rate == pytest.approx(0.2)
+
+    def test_even_factor_rejected(self):
+        with pytest.raises(ProtocolError):
+            RepetitionCode(2)
+
+    def test_partial_group_rejected(self):
+        with pytest.raises(ProtocolError):
+            RepetitionCode(3).decode([1, 0])
+
+    def test_non_bits_rejected(self):
+        with pytest.raises(ProtocolError):
+            RepetitionCode(3).encode([2])
+
+
+class TestHamming74:
+    def test_block_roundtrip(self):
+        code = Hamming74(extended=False)
+        for value in range(16):
+            data = [(value >> i) & 1 for i in range(4)]
+            block = code.encode_block(data)
+            decoded, corrected, bad = code.decode_block(block)
+            assert decoded == data
+            assert not corrected and not bad
+
+    def test_corrects_every_single_bit_error(self):
+        code = Hamming74(extended=False)
+        data = [1, 0, 1, 1]
+        clean = code.encode_block(data)
+        for position in range(7):
+            block = list(clean)
+            block[position] ^= 1
+            decoded, corrected, bad = code.decode_block(block)
+            assert decoded == data, f"failed at position {position}"
+            assert corrected
+            assert not bad
+
+    def test_extended_corrects_single_and_detects_double(self):
+        code = Hamming74(extended=True)
+        data = [0, 1, 1, 0]
+        clean = code.encode_block(data)
+        # Single-bit error in any of the 8 positions: corrected.
+        for position in range(8):
+            block = list(clean)
+            block[position] ^= 1
+            decoded, corrected, bad = code.decode_block(block)
+            assert not bad
+            assert decoded == data
+        # Double-bit error: detected as uncorrectable.
+        block = list(clean)
+        block[0] ^= 1
+        block[3] ^= 1
+        _, _, bad = code.decode_block(block)
+        assert bad
+
+    def test_stream_roundtrip(self):
+        code = Hamming74()
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        assert code.decode(code.encode(bits)) == bits
+
+    def test_stream_length_validation(self):
+        code = Hamming74()
+        with pytest.raises(ProtocolError):
+            code.encode([1, 0, 1])
+        with pytest.raises(ProtocolError):
+            code.decode([0] * 7)  # extended blocks are 8 bits
+
+    def test_rates(self):
+        assert Hamming74(extended=False).rate == pytest.approx(4 / 7)
+        assert Hamming74(extended=True).rate == pytest.approx(0.5)
+
+    def test_wrong_block_size_rejected(self):
+        with pytest.raises(ProtocolError):
+            Hamming74().encode_block([1, 0, 1])
+
+
+class TestCRC8:
+    def test_checksum_deterministic(self):
+        crc = CRC8()
+        assert crc.checksum(b"hello") == crc.checksum(b"hello")
+
+    def test_verify_accepts_clean_frame(self):
+        crc = CRC8()
+        assert crc.verify(crc.append(b"payload"))
+
+    def test_verify_rejects_corruption(self):
+        crc = CRC8()
+        framed = bytearray(crc.append(b"payload"))
+        framed[2] ^= 0x10
+        assert not crc.verify(bytes(framed))
+
+    def test_detects_single_bit_flip_anywhere(self):
+        crc = CRC8()
+        framed = crc.append(b"\x12\x34\x56")
+        for byte_index in range(len(framed)):
+            for bit in range(8):
+                corrupted = bytearray(framed)
+                corrupted[byte_index] ^= (1 << bit)
+                assert not crc.verify(bytes(corrupted))
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            CRC8().verify(b"\x00")
+
+    def test_empty_payload_checksums(self):
+        assert CRC8().checksum(b"") == 0
+
+
+class TestInterleaver:
+    def test_roundtrip(self):
+        from repro.core.ecc import deinterleave, interleave
+
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0, 1, 0, 0, 0, 1]
+        assert deinterleave(interleave(bits, 8), 8) == bits
+
+    def test_adjacent_channel_bits_map_to_distinct_blocks(self):
+        from repro.core.ecc import interleave
+
+        # Tag each bit with its block id; after interleaving, adjacent
+        # channel positions must carry different block ids.
+        block_bits = 8
+        n_blocks = 4
+        tags = [i // block_bits for i in range(block_bits * n_blocks)]
+        shuffled = interleave(tags, depth=block_bits)
+        assert all(a != b for a, b in zip(shuffled, shuffled[1:]))
+
+    def test_depth_must_divide_length(self):
+        from repro.core.ecc import interleave
+
+        with pytest.raises(ProtocolError):
+            interleave([1, 0, 1], 2)
+
+    def test_bad_depth_rejected(self):
+        from repro.core.ecc import deinterleave
+
+        with pytest.raises(ProtocolError):
+            deinterleave([1, 0], 0)

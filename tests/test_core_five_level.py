@@ -1,0 +1,104 @@
+"""Base-5 coding and the five-level channel."""
+
+import pytest
+
+from repro import System
+from repro.core import IccThreadCovert
+from repro.core.base5 import (
+    BASE,
+    bits_per_symbol,
+    bytes_to_digits,
+    digits_for_bytes,
+    digits_to_bytes,
+)
+from repro.core.five_level import FiveLevelThreadChannel
+from repro.errors import ProtocolError
+from repro.soc.config import cannon_lake_i3_8121u
+
+
+class TestBase5Codec:
+    def test_roundtrip_short(self):
+        data = b"\x00\xff\x42"
+        assert digits_to_bytes(bytes_to_digits(data), len(data)) == data
+
+    def test_roundtrip_multi_block(self):
+        data = bytes(range(23))  # 3 blocks + remainder
+        assert digits_to_bytes(bytes_to_digits(data), len(data)) == data
+
+    def test_roundtrip_exact_blocks(self):
+        data = bytes(range(14))  # exactly 2 blocks
+        assert digits_to_bytes(bytes_to_digits(data), len(data)) == data
+
+    def test_digits_in_range(self):
+        for digit in bytes_to_digits(bytes(range(50))):
+            assert 0 <= digit < BASE
+
+    def test_digit_budget_matches_helper(self):
+        for n in (1, 3, 7, 8, 20):
+            assert len(bytes_to_digits(bytes(n))) == digits_for_bytes(n)
+
+    def test_rate_beats_two_bits(self):
+        # 2.32 bits per digit vs 2 bits per four-level symbol.
+        n = 70
+        digits = digits_for_bytes(n)
+        assert digits * 2 < n * 8  # fewer transactions than bit-pairs
+        assert bits_per_symbol() == pytest.approx(2.3219, abs=1e-3)
+
+    def test_corrupted_digits_decode_without_crashing(self):
+        data = b"\x12\x34\x56\x78\x9a\xbc\xde"
+        digits = bytes_to_digits(data)
+        digits[0] = (digits[0] + 1) % BASE
+        decoded = digits_to_bytes(digits, len(data))
+        assert len(decoded) == len(data)
+        assert decoded != data
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            bytes_to_digits(b"")
+        with pytest.raises(ProtocolError):
+            digits_to_bytes([1, 2], 50)
+        with pytest.raises(ProtocolError):
+            digits_to_bytes([9] * digits_for_bytes(1), 1)
+
+
+class TestFiveLevelChannel:
+    def test_transfers_error_free(self):
+        channel = FiveLevelThreadChannel(System(cannon_lake_i3_8121u()))
+        payload = bytes(range(16))
+        report = channel.transfer(payload)
+        assert report.received == payload
+        assert report.digit_error_rate == 0.0
+
+    def test_beats_the_four_level_protocol(self):
+        payload = bytes(range(14))
+        five = FiveLevelThreadChannel(System(cannon_lake_i3_8121u()))
+        four = IccThreadCovert(System(cannon_lake_i3_8121u()))
+        five_report = five.transfer(payload)
+        four_report = four.transfer(payload)
+        gain = five_report.throughput_bps / four_report.throughput_bps
+        assert gain > 1.05  # ideal log2(5)/2 = 1.16, minus block padding
+
+    def test_quiet_symbol_is_its_own_cluster(self):
+        channel = FiveLevelThreadChannel(System(cannon_lake_i3_8121u()))
+        calibrator = channel.calibrate()
+        assert set(calibrator.stats) == {0, 1, 2, 3, 4}
+        # The quiet symbol leaves the full ramp to the probe: the
+        # longest reading of all five.
+        centers = {s: st.center for s, st in calibrator.stats.items()}
+        assert centers[0] == max(centers.values())
+
+    def test_five_clusters_strictly_ordered(self):
+        channel = FiveLevelThreadChannel(System(cannon_lake_i3_8121u()))
+        calibrator = channel.calibrate()
+        centers = [calibrator.stats[s].center for s in (4, 3, 2, 1, 0)]
+        assert all(b > a for a, b in zip(centers, centers[1:]))
+
+    def test_empty_payload_rejected(self):
+        channel = FiveLevelThreadChannel(System(cannon_lake_i3_8121u()))
+        with pytest.raises(ProtocolError):
+            channel.transfer(b"")
+
+    def test_bad_digit_rejected(self):
+        channel = FiveLevelThreadChannel(System(cannon_lake_i3_8121u()))
+        with pytest.raises(ProtocolError):
+            channel._sender_loop(7)

@@ -1,0 +1,125 @@
+"""Symbol levels, probe classes and payload framing."""
+
+import pytest
+
+from repro.core import (
+    ChannelLocation,
+    PROBE_CLASSES,
+    SYMBOL_BITS,
+    SYMBOL_CLASSES,
+    symbol_for_class,
+)
+from repro.core.encoding import (
+    bits_to_bytes,
+    bits_to_symbols,
+    bytes_to_bits,
+    bytes_to_symbols,
+    symbols_to_bits,
+    symbols_to_bytes,
+)
+from repro.core.levels import (
+    class_for_symbol,
+    narrow_symbol_classes,
+    probe_class_for,
+)
+from repro.errors import ConfigError, ProtocolError
+from repro.isa import IClass
+
+
+class TestSymbolClasses:
+    def test_two_bits_per_symbol(self):
+        assert SYMBOL_BITS == 2
+        assert len(SYMBOL_CLASSES) == 4
+
+    def test_figure3_mapping(self):
+        assert SYMBOL_CLASSES[0b00] == IClass.HEAVY_128
+        assert SYMBOL_CLASSES[0b01] == IClass.LIGHT_256
+        assert SYMBOL_CLASSES[0b10] == IClass.HEAVY_256
+        assert SYMBOL_CLASSES[0b11] == IClass.HEAVY_512
+
+    def test_levels_ordered_by_intensity(self):
+        cdyns = [SYMBOL_CLASSES[s].cdyn_nf for s in range(4)]
+        assert all(b > a for a, b in zip(cdyns, cdyns[1:]))
+
+    def test_roundtrip_symbol_for_class(self):
+        for symbol, iclass in SYMBOL_CLASSES.items():
+            assert symbol_for_class(iclass) == symbol
+
+    def test_symbol_for_non_level_class_rejected(self):
+        with pytest.raises(ConfigError):
+            symbol_for_class(IClass.SCALAR_64)
+
+    def test_class_for_bad_symbol_rejected(self):
+        with pytest.raises(ConfigError):
+            class_for_symbol(4)
+
+
+class TestProbeClasses:
+    def test_figure3_probes(self):
+        assert PROBE_CLASSES[ChannelLocation.SAME_THREAD] == IClass.HEAVY_512
+        assert PROBE_CLASSES[ChannelLocation.ACROSS_SMT] == IClass.SCALAR_64
+        assert PROBE_CLASSES[ChannelLocation.ACROSS_CORES] == IClass.HEAVY_128
+
+    def test_probe_narrowed_on_256bit_parts(self):
+        probe = probe_class_for(ChannelLocation.SAME_THREAD, 256)
+        assert probe == IClass.HEAVY_256
+
+    def test_smt_probe_unchanged_on_256bit_parts(self):
+        assert probe_class_for(ChannelLocation.ACROSS_SMT, 256) == IClass.SCALAR_64
+
+
+class TestNarrowLadder:
+    def test_full_ladder_on_avx512_parts(self):
+        assert narrow_symbol_classes(512) == SYMBOL_CLASSES
+
+    def test_narrow_ladder_tops_at_256(self):
+        narrow = narrow_symbol_classes(256)
+        assert max(c.width_bits for c in narrow.values()) == 256
+        assert len(narrow) == 4
+
+    def test_narrow_ladder_still_monotone(self):
+        narrow = narrow_symbol_classes(256)
+        cdyns = [narrow[s].cdyn_nf for s in range(4)]
+        assert all(b > a for a, b in zip(cdyns, cdyns[1:]))
+
+
+class TestBitFraming:
+    def test_bytes_to_bits_msb_first(self):
+        assert bytes_to_bits(b"\x80") == [1, 0, 0, 0, 0, 0, 0, 0]
+        assert bytes_to_bits(b"\x01") == [0, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_bits_to_bytes_roundtrip(self):
+        data = bytes(range(0, 256, 7))
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_bits_to_bytes_rejects_partial_byte(self):
+        with pytest.raises(ProtocolError):
+            bits_to_bytes([1, 0, 1])
+
+    def test_bits_to_bytes_rejects_non_bits(self):
+        with pytest.raises(ProtocolError):
+            bits_to_bytes([2] * 8)
+
+
+class TestSymbolFraming:
+    def test_bits_to_symbols_pairs_msb_first(self):
+        assert bits_to_symbols([1, 0, 0, 1]) == [0b10, 0b01]
+
+    def test_symbols_to_bits_roundtrip(self):
+        symbols = [0, 1, 2, 3, 3, 0]
+        assert bits_to_symbols(symbols_to_bits(symbols)) == symbols
+
+    def test_bytes_to_symbols_four_per_byte(self):
+        assert bytes_to_symbols(b"\xe4") == [0b11, 0b10, 0b01, 0b00]
+
+    def test_symbols_to_bytes_roundtrip(self):
+        data = b"IChannels!"
+        assert symbols_to_bytes(bytes_to_symbols(data)) == data
+
+    def test_odd_bit_count_rejected(self):
+        with pytest.raises(ProtocolError):
+            bits_to_symbols([1])
+
+    def test_bad_symbol_rejected(self):
+        with pytest.raises(ProtocolError):
+            symbols_to_bits([5])

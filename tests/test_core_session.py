@@ -1,0 +1,147 @@
+"""Reliable session transport over the covert channels."""
+
+import pytest
+
+from repro import System
+from repro.core import IccCoresCovert, IccSMTcovert, IccThreadCovert
+from repro.core.session import (
+    CovertSession,
+    FecScheme,
+    SessionConfig,
+    SessionReport,
+)
+from repro.errors import ProtocolError
+from repro.soc.config import cannon_lake_i3_8121u
+from repro.soc.noise import attach_concurrent_app
+
+
+def clean_session(channel_cls=IccThreadCovert, **kwargs):
+    system = System(cannon_lake_i3_8121u())
+    return CovertSession(channel_cls(system), SessionConfig(**kwargs))
+
+
+class TestSessionConfig:
+    def test_code_rates(self):
+        assert SessionConfig(fec=FecScheme.NONE).code_rate == 1.0
+        assert SessionConfig(fec=FecScheme.HAMMING).code_rate == 0.5
+        assert SessionConfig(fec=FecScheme.REPETITION3).code_rate == pytest.approx(1 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            SessionConfig(frame_bytes=0)
+        with pytest.raises(ProtocolError):
+            SessionConfig(frame_bytes=300)
+        with pytest.raises(ProtocolError):
+            SessionConfig(max_retries=-1)
+
+
+class TestCleanTransport:
+    @pytest.mark.parametrize("fec", list(FecScheme))
+    def test_roundtrip_every_fec(self, fec):
+        session = clean_session(fec=fec)
+        payload = bytes(range(20))
+        report = session.send(payload)
+        assert report.ok
+        assert report.delivered == payload
+        assert report.retransmissions == 0
+
+    def test_multi_frame_payload(self):
+        session = clean_session(frame_bytes=4)
+        payload = bytes(range(15))  # 4 frames, last one short
+        report = session.send(payload)
+        assert report.ok
+        assert len(report.frames) == 4
+
+    def test_single_byte_payload(self):
+        report = clean_session().send(b"\x42")
+        assert report.ok
+
+    def test_works_over_smt_and_cores_channels(self):
+        for channel_cls in (IccSMTcovert, IccCoresCovert):
+            report = clean_session(channel_cls).send(b"\x13\x57")
+            assert report.ok, channel_cls.__name__
+
+    def test_goodput_positive_when_ok(self):
+        report = clean_session().send(bytes(8))
+        assert report.goodput_bps > 0
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            clean_session().send(b"")
+
+
+class TestNoisyTransport:
+    def _noisy_session(self, fec, rate=800.0, seed=9):
+        system = System(cannon_lake_i3_8121u(), seed=seed)
+        attach_concurrent_app(system, system.thread_on(1), rate,
+                              duration_ms=800.0, seed=seed)
+        return CovertSession(IccThreadCovert(system), SessionConfig(fec=fec))
+
+    def test_hamming_survives_noise_that_kills_uncoded(self):
+        coded = self._noisy_session(FecScheme.HAMMING).send(bytes(range(32)))
+        uncoded = self._noisy_session(FecScheme.NONE).send(bytes(range(32)))
+        assert coded.ok
+        assert not uncoded.ok
+
+    def test_retransmissions_recover_residual_errors(self):
+        report = self._noisy_session(FecScheme.HAMMING, rate=300.0).send(
+            bytes(range(32)))
+        assert report.ok
+        assert report.retransmissions >= 1
+
+    def test_failed_session_reports_honestly(self):
+        report = self._noisy_session(FecScheme.NONE, rate=3000.0).send(
+            bytes(range(16)))
+        assert not report.ok
+        assert report.delivered is None
+        assert report.goodput_bps == 0.0
+        assert any(not f.delivered for f in report.frames)
+
+
+class TestSessionReport:
+    def test_attempt_accounting(self):
+        from repro.core.session import FrameLog
+
+        report = SessionReport(
+            payload=b"ab", delivered=b"ab",
+            frames=[FrameLog(0, 2, True), FrameLog(1, 1, True)],
+            start_ns=0.0, end_ns=1e9)
+        assert report.total_attempts == 3
+        assert report.retransmissions == 1
+        assert report.goodput_bps == pytest.approx(16.0)
+
+
+class TestQuietSensing:
+    """Section 6.3's third strategy: transmit during quiet periods."""
+
+    def test_quiet_system_senses_quiet(self):
+        session = clean_session()
+        assert session.channel_is_quiet()
+
+    def test_hot_system_senses_busy_sometimes(self):
+        system = System(cannon_lake_i3_8121u(), seed=3)
+        attach_concurrent_app(system, system.thread_on(1), 5000.0,
+                              duration_ms=300.0, seed=3)
+        session = CovertSession(IccThreadCovert(system))
+        verdicts = [session.channel_is_quiet() for _ in range(12)]
+        assert verdicts.count(False) >= 2
+
+    def test_gated_send_records_senses(self):
+        session = clean_session(wait_for_quiet=True)
+        report = session.send(b"\x42\x43")
+        assert report.ok
+        assert all(f.quiet_senses >= 1 for f in report.frames)
+
+    def test_patience_validation(self):
+        with pytest.raises(ProtocolError):
+            SessionConfig(quiet_patience=0)
+
+    def test_gated_send_still_delivers_under_noise(self):
+        system = System(cannon_lake_i3_8121u(), seed=21)
+        attach_concurrent_app(system, system.thread_on(1), 400.0,
+                              duration_ms=900.0, seed=21)
+        session = CovertSession(
+            IccThreadCovert(system),
+            SessionConfig(wait_for_quiet=True, quiet_patience=4))
+        report = session.send(bytes(range(16)))
+        assert report.ok

@@ -1,0 +1,12 @@
+"""Package entry point (`python -m repro`)."""
+
+from repro.__main__ import main
+
+
+class TestMainDemo:
+    def test_demo_runs_clean(self, capsys):
+        assert main() == 0
+        out = capsys.readouterr().out
+        assert "IChannels demo" in out
+        assert out.count("[OK]") == 3
+        assert "[FAILED]" not in out

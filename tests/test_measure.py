@@ -1,0 +1,174 @@
+"""Traces, the simulated DAQ card, and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure import (
+    DAQCard,
+    DAQSpec,
+    SampleSeries,
+    StepTrace,
+    distribution_summary,
+    histogram,
+    level_separation,
+)
+from repro.measure.stats import bit_error_rate
+from repro.measure.trace import merge_step_traces
+
+
+class TestStepTrace:
+    def test_value_at_returns_latest_breakpoint(self):
+        trace = StepTrace("f")
+        trace.record(0.0, 1.0)
+        trace.record(10.0, 2.0)
+        assert trace.value_at(5.0) == 1.0
+        assert trace.value_at(10.0) == 2.0
+        assert trace.value_at(100.0) == 2.0
+
+    def test_default_before_first_record(self):
+        trace = StepTrace("f")
+        trace.record(10.0, 2.0)
+        assert trace.value_at(5.0, default=-1) == -1
+
+    def test_duplicate_value_compacted(self):
+        trace = StepTrace("f")
+        trace.record(0.0, 1.0)
+        trace.record(10.0, 1.0)
+        assert len(trace) == 1
+
+    def test_same_time_overwrites(self):
+        trace = StepTrace("f")
+        trace.record(10.0, 1.0)
+        trace.record(10.0, 2.0)
+        assert trace.value_at(10.0) == 2.0
+        assert len(trace) == 1
+
+    def test_time_going_backwards_rejected(self):
+        trace = StepTrace("f")
+        trace.record(10.0, 1.0)
+        with pytest.raises(MeasurementError):
+            trace.record(5.0, 2.0)
+
+    def test_changes_in_window(self):
+        trace = StepTrace("f")
+        for t in (0.0, 10.0, 20.0, 30.0):
+            trace.record(t, t)
+        assert trace.changes_in(10.0, 30.0) == [(10.0, 10.0), (20.0, 20.0)]
+
+    def test_time_weighted_mean(self):
+        trace = StepTrace("f")
+        trace.record(0.0, 1.0)
+        trace.record(50.0, 3.0)
+        assert trace.time_weighted_mean(0.0, 100.0) == pytest.approx(2.0)
+
+    def test_time_weighted_mean_empty_interval_rejected(self):
+        trace = StepTrace("f")
+        trace.record(0.0, 1.0)
+        with pytest.raises(MeasurementError):
+            trace.time_weighted_mean(10.0, 10.0)
+
+    def test_merge_step_traces(self):
+        a = StepTrace("a")
+        a.record(0.0, 1)
+        a.record(10.0, 2)
+        b = StepTrace("b")
+        b.record(5.0, 1)
+        times = merge_step_traces([a, b], 0.0, 20.0)
+        assert times == [0.0, 5.0, 10.0, 20.0]
+
+
+class TestSampleSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(MeasurementError):
+            SampleSeries(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_delta_from_start(self):
+        series = SampleSeries(np.array([0.0, 1.0]), np.array([5.0, 7.0]))
+        delta = series.delta_from_start()
+        assert list(delta.values) == [0.0, 2.0]
+
+    def test_window(self):
+        series = SampleSeries(np.arange(10.0), np.arange(10.0))
+        window = series.window(2.0, 5.0)
+        assert list(window.times_ns) == [2.0, 3.0, 4.0, 5.0]
+
+    def test_minmax_and_mean(self):
+        series = SampleSeries(np.arange(3.0), np.array([1.0, 5.0, 3.0]))
+        assert series.minmax() == (1.0, 5.0)
+        assert series.mean() == pytest.approx(3.0)
+
+    def test_duration(self):
+        series = SampleSeries(np.array([10.0, 30.0]), np.zeros(2))
+        assert series.duration_ns == 20.0
+
+
+class TestDAQ:
+    def test_samples_a_signal(self):
+        daq = DAQCard(DAQSpec(max_sample_rate_hz=1e7, accuracy=1.0))
+        series = daq.sample(lambda t: 2.0 * t, 0.0, 1000.0, sample_rate_hz=1e7)
+        assert len(series) == 11
+        assert series.values[5] == pytest.approx(2.0 * series.times_ns[5])
+
+    def test_rate_limited_by_instrument(self):
+        daq = DAQCard()
+        with pytest.raises(MeasurementError):
+            daq.sample(lambda t: 1.0, 0.0, 1000.0, sample_rate_hz=1e9)
+
+    def test_default_rate_is_instrument_max(self):
+        daq = DAQCard(DAQSpec(accuracy=1.0))
+        series = daq.sample(lambda t: 1.0, 0.0, 1e6)
+        # 3.5 MS/s over 1 ms -> ~3500 samples.
+        assert 3400 <= len(series) <= 3600
+
+    def test_gain_error_bounded_by_accuracy(self):
+        daq = DAQCard(DAQSpec(max_sample_rate_hz=1e7, accuracy=0.9994), seed=1)
+        series = daq.sample(lambda t: 1.0, 0.0, 1000.0, sample_rate_hz=1e7)
+        assert series.mean() == pytest.approx(1.0, abs=0.01)
+
+    def test_empty_window_rejected(self):
+        daq = DAQCard()
+        with pytest.raises(MeasurementError):
+            daq.sample(lambda t: 1.0, 10.0, 10.0)
+
+    def test_noise_added_when_configured(self):
+        daq = DAQCard(DAQSpec(accuracy=1.0, noise_rms=0.1), seed=2)
+        series = daq.sample(lambda t: 1.0, 0.0, 1e5, sample_rate_hz=1e6)
+        assert float(np.std(series.values)) > 0.01
+
+
+class TestStats:
+    def test_distribution_summary(self):
+        summary = distribution_summary([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.median == 3.0
+        assert summary.count == 5
+        assert summary.minimum == 1.0 and summary.maximum == 5.0
+
+    def test_summary_rejects_empty(self):
+        with pytest.raises(MeasurementError):
+            distribution_summary([])
+
+    def test_histogram_counts_sum_to_n(self):
+        rows = histogram([1.0, 2.0, 2.5, 9.0], bins=4)
+        assert sum(count for _, _, count in rows) == 4
+
+    def test_level_separation_positive_for_disjoint_clusters(self):
+        gaps = level_separation({0: [1.0, 2.0], 1: [5.0, 6.0]})
+        assert gaps == [(0, 1, 3.0)]
+
+    def test_level_separation_negative_for_overlap(self):
+        gaps = level_separation({0: [1.0, 5.0], 1: [4.0, 6.0]})
+        assert gaps[0][2] < 0
+
+    def test_level_separation_needs_two_levels(self):
+        with pytest.raises(MeasurementError):
+            level_separation({0: [1.0]})
+
+    def test_bit_error_rate_counts_bits(self):
+        # Symbol 0b00 vs 0b11 is two wrong bits.
+        assert bit_error_rate([0b00], [0b11]) == 1.0
+        assert bit_error_rate([0b00, 0b01], [0b00, 0b00]) == 0.25
+
+    def test_bit_error_rate_length_mismatch(self):
+        with pytest.raises(MeasurementError):
+            bit_error_rate([0], [0, 1])

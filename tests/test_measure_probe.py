@@ -1,0 +1,110 @@
+"""Per-iteration timing and throttle detection."""
+
+import pytest
+
+from repro import IClass, System
+from repro.errors import ConfigError, MeasurementError
+from repro.measure import (
+    ThrottleDetector,
+    expected_iteration_tsc,
+    measured_iterations,
+)
+from repro.soc.config import cannon_lake_i3_8121u
+from repro.units import us_to_ns
+
+
+def run_measured(iclass, iterations=30, freq=2.2):
+    system = System(cannon_lake_i3_8121u(), governor_freq_ghz=freq)
+    sink = []
+    system.spawn(measured_iterations(system, 0, iclass, iterations, sink=sink))
+    system.run_until(us_to_ns(800.0))
+    assert sink, "measurement did not finish"
+    return system, sink[0]
+
+
+class TestMeasuredIterations:
+    def test_counts_and_span(self):
+        _, timings = run_measured(IClass.SCALAR_64, iterations=10)
+        assert len(timings.durations_tsc) == 10
+        assert timings.total_tsc >= sum(timings.durations_tsc) - 1
+
+    def test_scalar_iterations_match_expectation(self):
+        system, timings = run_measured(IClass.SCALAR_64, iterations=10)
+        expected = expected_iteration_tsc(
+            IClass.SCALAR_64, 300, 2.2, system.config.base_freq_ghz)
+        for duration in timings.durations_tsc:
+            assert duration == pytest.approx(expected, abs=2)
+
+    def test_phi_run_starts_throttled_then_recovers(self):
+        system, timings = run_measured(IClass.HEAVY_256, iterations=60)
+        expected = expected_iteration_tsc(
+            IClass.HEAVY_256, 300, 2.2, system.config.base_freq_ghz)
+        detector = ThrottleDetector(expected)
+        mask = detector.throttled_mask(timings.durations_tsc)
+        assert mask[0], "first iterations should run under the throttle"
+        assert not mask[-1], "the loop should recover once the rail settles"
+        # Throttled iterations run at ~4x the expected duration.
+        first = timings.durations_tsc[1]  # skip the PG-wake iteration 0
+        assert first == pytest.approx(4 * expected, rel=0.1)
+
+    def test_requires_sink(self):
+        system = System(cannon_lake_i3_8121u())
+        with pytest.raises(ConfigError):
+            next(measured_iterations(system, 0, IClass.SCALAR_64, 5, sink=None))
+
+    def test_rejects_zero_iterations(self):
+        system = System(cannon_lake_i3_8121u())
+        with pytest.raises(ConfigError):
+            next(measured_iterations(system, 0, IClass.SCALAR_64, 0, sink=[]))
+
+
+class TestThrottleDetector:
+    def test_mask_thresholding(self):
+        detector = ThrottleDetector(expected_tsc=100.0)
+        assert detector.throttled_mask([100.0, 150.0, 400.0]) == [
+            False, False, True]
+
+    def test_throttling_period_sums_excess(self):
+        detector = ThrottleDetector(expected_tsc=100.0)
+        tp = detector.throttling_period_tsc([400.0, 400.0, 100.0])
+        assert tp == pytest.approx(600.0)
+
+    def test_throttled_count(self):
+        detector = ThrottleDetector(expected_tsc=100.0)
+        assert detector.throttled_count([400.0, 100.0, 350.0]) == 2
+
+    def test_detected_tp_matches_system_report(self):
+        # The receiver-side estimate must agree with the simulator's
+        # ground-truth throttled time.
+        system, timings = run_measured(IClass.HEAVY_256, iterations=60)
+        expected = expected_iteration_tsc(
+            IClass.HEAVY_256, 300, 2.2, system.config.base_freq_ghz)
+        detector = ThrottleDetector(expected)
+        tp_tsc = detector.throttling_period_tsc(timings.durations_tsc)
+        # Ground truth: a fresh identical run measured by the system.
+        from repro.isa import Loop
+
+        system2 = System(cannon_lake_i3_8121u(), governor_freq_ghz=2.2)
+        sink = []
+
+        def program():
+            yield system2.until(0.0)
+            sink.append((yield system2.execute(0, Loop(IClass.HEAVY_256, 60))))
+
+        system2.spawn(program())
+        system2.run_until(us_to_ns(800.0))
+        truth_tsc = sink[0].throttled_ns * system2.config.base_freq_ghz
+        # The detector sums excess (3/4 of throttled time) so scale it.
+        assert tp_tsc == pytest.approx(truth_tsc * 0.75, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ThrottleDetector(expected_tsc=0.0)
+        with pytest.raises(ConfigError):
+            ThrottleDetector(expected_tsc=10.0, threshold_factor=1.0)
+        with pytest.raises(MeasurementError):
+            ThrottleDetector(expected_tsc=10.0).throttled_mask([])
+
+    def test_expected_iteration_validation(self):
+        with pytest.raises(ConfigError):
+            expected_iteration_tsc(IClass.SCALAR_64, 300, 0.0, 2.2)

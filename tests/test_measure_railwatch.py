@@ -1,0 +1,94 @@
+"""Rail-trace phase detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure import SampleSeries
+from repro.measure.railwatch import RailPhaseDetector
+
+
+def staircase(levels, samples_per_level=50, noise=0.0, seed=1):
+    """Synthetic rail trace stepping through the given levels (volts)."""
+    rng = np.random.default_rng(seed)
+    values = np.concatenate([
+        np.full(samples_per_level, level) for level in levels
+    ])
+    if noise:
+        values = values + rng.normal(0.0, noise, len(values))
+    times = np.arange(len(values), dtype=float) * 100.0
+    return SampleSeries(times, values, name="rail")
+
+
+class TestPhases:
+    def test_flat_trace_is_one_phase(self):
+        detector = RailPhaseDetector()
+        phases = detector.phases(staircase([0.80]))
+        assert len(phases) == 1
+        assert phases[0].level_v == pytest.approx(0.80)
+
+    def test_staircase_segmentation(self):
+        detector = RailPhaseDetector()
+        phases = detector.phases(staircase([0.80, 0.808, 0.817, 0.808, 0.80]))
+        assert len(phases) == 5
+        levels = [p.level_v for p in phases]
+        assert levels == pytest.approx([0.80, 0.808, 0.817, 0.808, 0.80],
+                                       abs=1e-3)
+
+    def test_small_wiggles_ignored(self):
+        detector = RailPhaseDetector(min_step_mv=2.0)
+        phases = detector.phases(staircase([0.80, 0.8005, 0.80]))
+        assert len(phases) == 1
+
+    def test_noise_tolerated(self):
+        detector = RailPhaseDetector(min_step_mv=3.0)
+        phases = detector.phases(
+            staircase([0.80, 0.81, 0.80], noise=0.0004))
+        assert len(phases) == 3
+
+    def test_too_short_rejected(self):
+        detector = RailPhaseDetector(settle_samples=5)
+        with pytest.raises(MeasurementError):
+            detector.phases(SampleSeries(np.array([0.0]), np.array([0.8])))
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(MeasurementError):
+            RailPhaseDetector(min_step_mv=0.0)
+        with pytest.raises(MeasurementError):
+            RailPhaseDetector(settle_samples=0)
+
+
+class TestSteps:
+    def test_step_polarity(self):
+        detector = RailPhaseDetector()
+        steps = detector.steps(staircase([0.80, 0.81, 0.80]))
+        assert len(steps) == 2
+        assert steps[0].rising and steps[0].delta_mv == pytest.approx(10.0, abs=0.5)
+        assert not steps[1].rising
+
+    def test_active_core_staircase(self):
+        # Figure 6(a) read-off: 0 -> 1 -> 2 -> 1 -> 0 cores in AVX2.
+        detector = RailPhaseDetector()
+        trace = staircase([0.788, 0.7965, 0.805, 0.7965, 0.788])
+        counts = detector.active_phi_cores(trace, step_per_core_mv=8.5)
+        assert counts == [0, 1, 2, 1, 0]
+
+    def test_active_core_validation(self):
+        detector = RailPhaseDetector()
+        with pytest.raises(MeasurementError):
+            detector.active_phi_cores(staircase([0.8]), step_per_core_mv=0.0)
+
+
+class TestOnSimulatedSystem:
+    def test_detects_avx_phases_from_the_simulated_rail(self):
+        # End to end: run the Figure 6 experiment and read the core
+        # count back from the sampled rail alone.
+        from repro.analysis.experiments import fig6_voltage_steps
+
+        result = fig6_voltage_steps()
+        detector = RailPhaseDetector(min_step_mv=3.0, settle_samples=5)
+        counts = detector.active_phi_cores(result.vcc_samples,
+                                           step_per_core_mv=8.75)
+        assert max(counts) == 2  # both cores in AVX2 at the peak
+        assert counts[0] == 0
+        assert counts[-1] == 0

@@ -1,0 +1,102 @@
+"""Spectral rail analysis: the analog defender."""
+
+import numpy as np
+import pytest
+
+from repro import System
+from repro.core import IccThreadCovert
+from repro.errors import MeasurementError
+from repro.isa.workload import calculix_like_trace
+from repro.measure import DAQCard, DAQSpec, SampleSeries
+from repro.measure.spectral import RailSpectralDetector
+from repro.soc.config import cannon_lake_i3_8121u
+from repro.soc.noise import attach_trace
+
+
+def synthetic_tone(freq_hz, duration_s=0.05, rate_hz=100_000.0, noise=0.0,
+                   seed=1):
+    """A sampled sinusoid plus optional white noise."""
+    rng = np.random.default_rng(seed)
+    n = int(duration_s * rate_hz)
+    times_ns = np.arange(n) * (1e9 / rate_hz)
+    values = 0.8 + 0.004 * np.sin(2 * np.pi * freq_hz * times_ns * 1e-9)
+    if noise:
+        values = values + rng.normal(0.0, noise, n)
+    return SampleSeries(times_ns, values, name="tone")
+
+
+class TestSyntheticSpectra:
+    def test_tone_detected_at_its_frequency(self):
+        detector = RailSpectralDetector()
+        verdict = detector.analyze(synthetic_tone(1_300.0))
+        assert verdict.flagged
+        assert verdict.peak_hz == pytest.approx(1_300.0, rel=0.05)
+
+    def test_noise_not_flagged(self):
+        rng = np.random.default_rng(2)
+        n = 4096
+        times_ns = np.arange(n) * 10_000.0
+        values = 0.8 + rng.normal(0.0, 0.002, n)
+        detector = RailSpectralDetector()
+        verdict = detector.analyze(SampleSeries(times_ns, values))
+        assert not verdict.flagged
+
+    def test_tone_survives_moderate_noise(self):
+        detector = RailSpectralDetector()
+        verdict = detector.analyze(synthetic_tone(900.0, noise=0.0008))
+        assert verdict.flagged
+
+    def test_validation(self):
+        detector = RailSpectralDetector()
+        with pytest.raises(MeasurementError):
+            detector.analyze(SampleSeries(np.arange(4.0), np.zeros(4)))
+        with pytest.raises(MeasurementError):
+            RailSpectralDetector(band_hz=(100.0, 50.0))
+        with pytest.raises(MeasurementError):
+            RailSpectralDetector(prominence_threshold=0.5)
+
+    def test_nonuniform_sampling_rejected(self):
+        detector = RailSpectralDetector()
+        times = np.array([0.0, 1.0, 3.0, 7.0, 15.0] * 10, dtype=float).cumsum()
+        with pytest.raises(MeasurementError):
+            detector.analyze(SampleSeries(times, np.zeros(len(times))))
+
+
+class TestOnSimulatedRail:
+    def _rail_trace(self, setup, span_ms=20.0):
+        from repro.units import ms_to_ns
+
+        system = System(cannon_lake_i3_8121u())
+        setup(system)
+        if system.now < ms_to_ns(span_ms):
+            system.run_until(ms_to_ns(span_ms))
+        daq = DAQCard(DAQSpec(accuracy=1.0))
+        return daq.sample(lambda t: system.vcc_at(t), 0.0, system.now,
+                          sample_rate_hz=200_000.0, name="rail")
+
+    def test_covert_channel_rail_has_a_slot_line(self):
+        def setup(system):
+            channel = IccThreadCovert(system)
+            channel.transfer(bytes(range(8)))  # runs to completion inline
+
+        trace = self._rail_trace(setup, span_ms=25.0)
+        verdict = RailSpectralDetector().analyze(trace)
+        assert verdict.flagged
+        # The line sits at the slot clock (~1/750 us) or a harmonic.
+        slot_hz = 1e6 / 750.0
+        ratio = verdict.peak_hz / slot_hz
+        assert abs(ratio - round(ratio)) < 0.1
+
+    def test_organic_workload_rail_not_flagged(self):
+        def setup(system):
+            attach_trace(system, system.thread_on(0),
+                         calculix_like_trace(total_ms=20.0, seed=3))
+
+        trace = self._rail_trace(setup, span_ms=20.0)
+        verdict = RailSpectralDetector().analyze(trace)
+        assert not verdict.flagged
+
+    def test_idle_rail_not_flagged(self):
+        trace = self._rail_trace(lambda system: None, span_ms=20.0)
+        verdict = RailSpectralDetector().analyze(trace)
+        assert not verdict.flagged

@@ -1,0 +1,168 @@
+"""Cycle-level pipeline model, PMCs and the TSC."""
+
+import pytest
+
+from repro.errors import ConfigError, MeasurementError
+from repro.isa import IClass
+from repro.microarch import (
+    CorePipeline,
+    CounterBank,
+    PMC,
+    PipelineConfig,
+    TimestampCounter,
+    normalized_undelivered,
+)
+
+
+class TestCounterBank:
+    def test_add_and_read(self):
+        bank = CounterBank()
+        bank.add(PMC.CPU_CLK_UNHALTED, 100)
+        assert bank.read(PMC.CPU_CLK_UNHALTED) == 100
+
+    def test_negative_increment_rejected(self):
+        bank = CounterBank()
+        with pytest.raises(MeasurementError):
+            bank.add(PMC.UOPS_DELIVERED, -1)
+
+    def test_snapshot_delta(self):
+        bank = CounterBank()
+        bank.add(PMC.CPU_CLK_UNHALTED, 10)
+        before = bank.snapshot()
+        bank.add(PMC.CPU_CLK_UNHALTED, 5)
+        assert bank.delta(before)[PMC.CPU_CLK_UNHALTED] == 5
+
+    def test_reset(self):
+        bank = CounterBank()
+        bank.add(PMC.UOPS_DELIVERED, 7)
+        bank.reset()
+        assert bank.read(PMC.UOPS_DELIVERED) == 0
+
+    def test_normalized_undelivered(self):
+        delta = {PMC.CPU_CLK_UNHALTED: 100, PMC.IDQ_UOPS_NOT_DELIVERED: 300}
+        assert normalized_undelivered(delta) == pytest.approx(0.75)
+
+    def test_normalized_undelivered_requires_cycles(self):
+        with pytest.raises(MeasurementError):
+            normalized_undelivered({PMC.CPU_CLK_UNHALTED: 0})
+
+
+class TestTSC:
+    def test_read_scales_with_rate(self):
+        tsc = TimestampCounter(2.2)
+        assert tsc.read(1000.0) == 2200
+
+    def test_read_monotone(self):
+        tsc = TimestampCounter(2.2)
+        assert tsc.read(2000.0) > tsc.read(1000.0)
+
+    def test_cycles_ns_roundtrip(self):
+        tsc = TimestampCounter(3.6)
+        assert tsc.ns(tsc.cycles(123.0)) == pytest.approx(123.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigError):
+            TimestampCounter(0.0)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ConfigError):
+            TimestampCounter(1.0).read(-1.0)
+
+
+class TestPipelineConfig:
+    def test_blocked_fraction_is_three_quarters(self):
+        assert PipelineConfig().blocked_fraction == pytest.approx(0.75)
+
+    def test_rejects_open_cycles_beyond_window(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(throttle_window=4, throttle_open_cycles=5)
+
+    def test_rejects_bad_smt(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(smt_threads=3)
+
+
+class TestThrottleSignature:
+    def test_throttled_undelivered_near_three_quarters(self):
+        # Figure 11(a): ~75 % of slots undelivered while throttled.
+        pipe = CorePipeline()
+        pipe.set_thread(0, IClass.HEAVY_256)
+        pipe.set_throttle(True)
+        before = pipe.thread(0).counters.snapshot()
+        pipe.run(10_000)
+        frac = normalized_undelivered(pipe.thread(0).counters.delta(before))
+        assert 0.72 <= frac <= 0.78
+
+    def test_unthrottled_undelivered_near_zero(self):
+        pipe = CorePipeline()
+        pipe.set_thread(0, IClass.HEAVY_256)
+        pipe.set_throttle(False)
+        before = pipe.thread(0).counters.snapshot()
+        pipe.run(10_000)
+        frac = normalized_undelivered(pipe.thread(0).counters.delta(before))
+        assert frac < 0.05
+
+    def test_throttled_ipc_is_quarter_of_baseline(self):
+        base = CorePipeline().measure_ipc(0, IClass.HEAVY_256, 20_000,
+                                          throttled=False)
+        throttled = CorePipeline().measure_ipc(0, IClass.HEAVY_256, 20_000,
+                                               throttled=True)
+        assert throttled == pytest.approx(base / 4.0, rel=0.05)
+
+    def test_idle_core_counts_nothing(self):
+        pipe = CorePipeline()
+        pipe.run(100)
+        assert pipe.core_counters.read(PMC.CPU_CLK_UNHALTED) == 0
+
+    def test_throttle_cycles_counted(self):
+        pipe = CorePipeline()
+        pipe.set_thread(0, IClass.HEAVY_256)
+        pipe.set_throttle(True)
+        pipe.run(1000)
+        assert pipe.core_counters.read(PMC.THROTTLE_CYCLES) == 1000
+
+
+class TestSMT:
+    def test_whole_core_gate_throttles_both_threads(self):
+        # Key Conclusion 5: the IDQ gate is shared by both SMT threads.
+        pipe = CorePipeline()
+        pipe.set_thread(0, IClass.HEAVY_256)
+        pipe.set_thread(1, IClass.SCALAR_64)
+        pipe.set_throttle(True)
+        before0 = pipe.thread(0).counters.snapshot()
+        before1 = pipe.thread(1).counters.snapshot()
+        pipe.run(20_000)
+        d0 = pipe.thread(0).counters.delta(before0)[PMC.UOPS_DELIVERED]
+        d1 = pipe.thread(1).counters.delta(before1)[PMC.UOPS_DELIVERED]
+        total_unthrottled = 20_000 * 4
+        assert (d0 + d1) / total_unthrottled < 0.3
+
+    def test_smt_threads_share_delivery_when_unthrottled(self):
+        pipe = CorePipeline()
+        pipe.set_thread(0, IClass.HEAVY_256)
+        pipe.set_thread(1, IClass.HEAVY_256)
+        pipe.run(20_000)
+        d0 = pipe.thread(0).counters.read(PMC.UOPS_DELIVERED)
+        d1 = pipe.thread(1).counters.read(PMC.UOPS_DELIVERED)
+        assert d0 == pytest.approx(d1, rel=0.05)
+
+    def test_improved_throttling_spares_the_sibling(self):
+        # Section 7: gate only the PHI thread's uops.
+        pipe = CorePipeline()
+        pipe.set_thread(0, IClass.HEAVY_256)
+        pipe.set_thread(1, IClass.SCALAR_64)
+        pipe.set_throttle(True, only_threads={0})
+        pipe.run(20_000)
+        d0 = pipe.thread(0).counters.read(PMC.UOPS_DELIVERED)
+        d1 = pipe.thread(1).counters.read(PMC.UOPS_DELIVERED)
+        assert d1 > 2 * d0
+
+    def test_unknown_thread_rejected(self):
+        pipe = CorePipeline(PipelineConfig(smt_threads=1))
+        with pytest.raises(ConfigError):
+            pipe.set_thread(1, IClass.SCALAR_64)
+
+    def test_negative_cycles_rejected(self):
+        pipe = CorePipeline()
+        with pytest.raises(ConfigError):
+            pipe.run(-1)

@@ -1,0 +1,59 @@
+"""Execution-port model consistency."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa import IClass
+from repro.microarch.ports import (
+    CLASS_MIXES,
+    PORT_COUNTS,
+    PortGroup,
+    UopMix,
+    bottleneck,
+    sustained_ipc,
+)
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("iclass", list(IClass))
+    def test_port_model_matches_timing_model(self, iclass):
+        # The load-bearing check: the IPC the event simulator uses for
+        # every class is exactly the port-model bottleneck.
+        assert sustained_ipc(iclass) == pytest.approx(iclass.ipc)
+
+    def test_every_class_has_a_mix(self):
+        assert set(CLASS_MIXES) == set(IClass)
+
+    def test_scalar_bound_by_alu(self):
+        assert bottleneck(IClass.SCALAR_64) == PortGroup.SCALAR_ALU
+
+    def test_heavy_classes_bound_by_fma_units(self):
+        assert bottleneck(IClass.HEAVY_128) == PortGroup.FP_MUL
+        assert bottleneck(IClass.HEAVY_256) == PortGroup.FP_MUL
+        assert bottleneck(IClass.HEAVY_512) == PortGroup.FP_MUL_512
+
+    def test_light_vector_bound_by_vector_alus(self):
+        assert bottleneck(IClass.LIGHT_256) == PortGroup.VECTOR_ALU
+
+    def test_512_fma_is_the_fused_pair(self):
+        # One fused 512-bit unit = the two 256-bit FMA ports combined.
+        assert PORT_COUNTS[PortGroup.FP_MUL_512] == 1
+        assert PORT_COUNTS[PortGroup.FP_MUL] == 2
+
+    def test_no_class_exceeds_delivery_width(self):
+        for iclass in IClass:
+            assert sustained_ipc(iclass) <= 4.0
+
+
+class TestUopMix:
+    def test_total_uops(self):
+        mix = UopMix({PortGroup.SCALAR_ALU: 1.5, PortGroup.BRANCH: 0.5})
+        assert mix.total_uops == pytest.approx(2.0)
+
+    def test_negative_uops_rejected(self):
+        with pytest.raises(ConfigError):
+            UopMix({PortGroup.SCALAR_ALU: -1.0})
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ConfigError):
+            UopMix({PortGroup.SCALAR_ALU: 0.0})

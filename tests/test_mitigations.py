@@ -1,0 +1,89 @@
+"""Mitigation recipes and the Table 1 effectiveness matrix."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mitigations import (
+    Mitigation,
+    evaluate_all,
+    evaluate_mitigation,
+    improved_throttling_options,
+    options_for,
+    per_core_vr_options,
+    secure_mode_options,
+)
+from repro.soc.config import cannon_lake_i3_8121u
+
+
+class TestRecipes:
+    def test_per_core_vr_options(self):
+        options = per_core_vr_options()
+        assert options.per_core_vr and options.ldo_rails
+
+    def test_per_core_vr_without_ldo(self):
+        options = per_core_vr_options(fast_ldo=False)
+        assert options.per_core_vr and not options.ldo_rails
+
+    def test_improved_throttling_options(self):
+        assert improved_throttling_options().improved_throttling
+
+    def test_secure_mode_options(self):
+        assert secure_mode_options().secure_mode
+
+    def test_options_for_none_is_default(self):
+        options = options_for(Mitigation.NONE)
+        assert not (options.per_core_vr or options.improved_throttling
+                    or options.secure_mode)
+
+
+class TestSingleEvaluations:
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(ConfigError):
+            evaluate_mitigation(cannon_lake_i3_8121u(), "NoSuchChannel",
+                                Mitigation.SECURE_MODE)
+
+    def test_baseline_channel_is_open_without_mitigation(self):
+        outcome = evaluate_mitigation(cannon_lake_i3_8121u(),
+                                      "IccThreadCovert", Mitigation.NONE)
+        assert outcome.verdict == "OPEN"
+        assert outcome.ber == 0.0
+
+
+class TestTable1Matrix:
+    """The exact Table 1 of the paper, regenerated."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return evaluate_all(cannon_lake_i3_8121u())
+
+    def test_per_core_vr_row(self, report):
+        # Paper: Partially / Partially / mitigated.
+        assert report.verdict("IccThreadCovert", Mitigation.PER_CORE_VR) == "PARTIAL"
+        assert report.verdict("IccSMTcovert", Mitigation.PER_CORE_VR) == "PARTIAL"
+        assert report.verdict("IccCoresCovert", Mitigation.PER_CORE_VR) == "MITIGATED"
+
+    def test_improved_throttling_row(self, report):
+        # Paper: open / mitigated / open.
+        assert report.verdict("IccThreadCovert",
+                              Mitigation.IMPROVED_THROTTLING) == "OPEN"
+        assert report.verdict("IccSMTcovert",
+                              Mitigation.IMPROVED_THROTTLING) == "MITIGATED"
+        assert report.verdict("IccCoresCovert",
+                              Mitigation.IMPROVED_THROTTLING) == "OPEN"
+
+    def test_secure_mode_row(self, report):
+        # Paper: mitigated / mitigated / mitigated.
+        for channel in ("IccThreadCovert", "IccSMTcovert", "IccCoresCovert"):
+            assert report.verdict(channel, Mitigation.SECURE_MODE) == "MITIGATED"
+
+    def test_secure_mode_power_overhead_in_paper_range(self, report):
+        # Paper: 4 % - 11 % additional power.
+        assert 0.04 <= report.secure_mode_power_overhead <= 0.11
+
+    def test_overhead_notes_present(self, report):
+        assert "area" in report.overhead_notes[Mitigation.PER_CORE_VR]
+        assert "power" in report.overhead_notes[Mitigation.SECURE_MODE]
+
+    def test_unknown_cell_rejected(self, report):
+        with pytest.raises(ConfigError):
+            report.verdict("IccThreadCovert", Mitigation.NONE)

@@ -1,0 +1,180 @@
+"""Throttle-pattern anomaly detection."""
+
+import pytest
+
+from repro import System
+from repro.core import IccCoresCovert, IccThreadCovert
+from repro.errors import ConfigError
+from repro.isa.workload import calculix_like_trace
+from repro.measure.trace import StepTrace
+from repro.mitigations.detector import ThrottleAnomalyDetector
+from repro.soc.config import cannon_lake_i3_8121u
+from repro.soc.noise import attach_trace
+from repro.units import ms_to_ns
+
+
+class TestEpisodeExtraction:
+    def test_rising_edges_only(self):
+        trace = StepTrace("t")
+        for t, v in [(0.0, 0), (10.0, 1), (20.0, 0), (30.0, 1), (40.0, 0)]:
+            trace.record(t, v)
+        detector = ThrottleAnomalyDetector()
+        assert detector.episode_starts(trace, 0.0, 100.0) == [10.0, 30.0]
+
+    def test_window_respected(self):
+        trace = StepTrace("t")
+        for t, v in [(0.0, 0), (10.0, 1), (20.0, 0), (30.0, 1), (40.0, 0)]:
+            trace.record(t, v)
+        detector = ThrottleAnomalyDetector()
+        assert detector.episode_starts(trace, 25.0, 100.0) == [30.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ThrottleAnomalyDetector(min_episodes=2)
+        with pytest.raises(ConfigError):
+            ThrottleAnomalyDetector(periodicity_threshold=0.0)
+        with pytest.raises(ConfigError):
+            ThrottleAnomalyDetector(bin_ns=0.0)
+        trace = StepTrace("t")
+        with pytest.raises(ConfigError):
+            ThrottleAnomalyDetector().analyze_trace(0, trace, 10.0, 10.0)
+
+
+class TestSyntheticPatterns:
+    def _train(self, intervals):
+        trace = StepTrace("t")
+        t = 0.0
+        trace.record(t, 0)
+        for gap in intervals:
+            t += gap
+            trace.record(t, 1)
+            trace.record(t + 1000.0, 0)
+        return trace, t + 2000.0
+
+    def test_metronomic_train_flagged(self):
+        trace, end = self._train([750_000.0] * 10)
+        report = ThrottleAnomalyDetector().analyze_trace(0, trace, 0.0, end)
+        assert report.flagged
+        assert report.interval_cv < 0.01
+        assert report.periodicity > 0.8
+
+    def test_irregular_train_not_flagged(self):
+        trace, end = self._train([100_000.0, 900_000.0, 300_000.0,
+                                  1_500_000.0, 200_000.0, 700_000.0,
+                                  50_000.0, 1_200_000.0])
+        report = ThrottleAnomalyDetector().analyze_trace(0, trace, 0.0, end)
+        assert not report.flagged
+
+    def test_too_few_episodes_not_flagged(self):
+        trace, end = self._train([750_000.0] * 3)
+        report = ThrottleAnomalyDetector().analyze_trace(0, trace, 0.0, end)
+        assert not report.flagged
+        assert report.episodes == 3
+
+
+class TestOnSimulatedSystems:
+    def test_covert_channel_is_detected(self):
+        system = System(cannon_lake_i3_8121u())
+        channel = IccThreadCovert(system)
+        channel.transfer(bytes(range(8)))  # ~32 metronomic slots
+        detector = ThrottleAnomalyDetector()
+        assert detector.any_flagged(system)
+        report = detector.analyze_system(system)[0]
+        # Two episodes per slot (sender ramp + probe ramp) at the
+        # ~1.3 kHz slot clock.
+        assert 2_000.0 < report.episode_rate_hz < 3_200.0
+        assert report.periodicity > 0.5
+
+    def test_cross_core_channel_flags_both_cores(self):
+        system = System(cannon_lake_i3_8121u())
+        IccCoresCovert(system).transfer(bytes(range(8)))
+        reports = ThrottleAnomalyDetector().analyze_system(system)
+        assert all(r.flagged for r in reports)
+
+    def test_organic_workload_not_flagged(self):
+        system = System(cannon_lake_i3_8121u())
+        attach_trace(system, system.thread_on(0),
+                     calculix_like_trace(total_ms=30.0, seed=11))
+        system.run_until(ms_to_ns(32.0))
+        detector = ThrottleAnomalyDetector()
+        assert not detector.any_flagged(system)
+
+    def test_idle_system_not_flagged(self):
+        system = System(cannon_lake_i3_8121u())
+        system.run_until(ms_to_ns(5.0))
+        assert not ThrottleAnomalyDetector().any_flagged(system)
+
+
+class TestEvasion:
+    """The arms race: slot jitter defeats periodicity detection."""
+
+    def test_jittered_channel_still_transfers(self):
+        from repro.core.channel import ChannelConfig
+
+        system = System(cannon_lake_i3_8121u())
+        channel = IccThreadCovert(
+            system, ChannelConfig(slot_jitter_us=400.0))
+        report = channel.transfer(bytes(range(8)))
+        assert report.received == bytes(range(8))
+        assert report.ber == 0.0
+
+    def test_jitter_evades_the_detector(self):
+        from repro.core.channel import ChannelConfig
+
+        clocked = System(cannon_lake_i3_8121u())
+        IccThreadCovert(clocked).transfer(bytes(range(8)))
+
+        jittered = System(cannon_lake_i3_8121u())
+        IccThreadCovert(
+            jittered, ChannelConfig(slot_jitter_us=400.0)
+        ).transfer(bytes(range(8)))
+
+        detector = ThrottleAnomalyDetector()
+        assert detector.any_flagged(clocked)
+        assert not detector.any_flagged(jittered)
+
+    def test_jitter_costs_throughput(self):
+        from repro.core.channel import ChannelConfig
+
+        plain = System(cannon_lake_i3_8121u())
+        plain_report = IccThreadCovert(plain).transfer(bytes(range(8)))
+        stealthy = System(cannon_lake_i3_8121u())
+        stealthy_report = IccThreadCovert(
+            stealthy, ChannelConfig(slot_jitter_us=400.0)
+        ).transfer(bytes(range(8)))
+        assert stealthy_report.throughput_bps < plain_report.throughput_bps
+
+
+class TestJitteredSchedule:
+    def test_both_parties_compute_identical_slots(self):
+        from repro.core.sync import JitteredSchedule
+
+        a = JitteredSchedule(0.0, 1000.0, jitter_ns=300.0, seed=5)
+        b = JitteredSchedule(0.0, 1000.0, jitter_ns=300.0, seed=5)
+        assert [a.slot_start(i) for i in range(10)] == [
+            b.slot_start(i) for i in range(10)]
+
+    def test_offsets_within_jitter(self):
+        from repro.core.sync import JitteredSchedule
+
+        schedule = JitteredSchedule(0.0, 1000.0, jitter_ns=300.0, seed=5)
+        for i in range(20):
+            base = i * 1000.0
+            assert base <= schedule.slot_start(i) < base + 300.0
+
+    def test_different_seeds_differ(self):
+        from repro.core.sync import JitteredSchedule
+
+        a = JitteredSchedule(0.0, 1000.0, jitter_ns=300.0, seed=1)
+        b = JitteredSchedule(0.0, 1000.0, jitter_ns=300.0, seed=2)
+        assert [a.slot_start(i) for i in range(8)] != [
+            b.slot_start(i) for i in range(8)]
+
+    def test_jitter_must_stay_below_slot(self):
+        from repro.core.sync import JitteredSchedule
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            JitteredSchedule(0.0, 1000.0, jitter_ns=1000.0)
+        with pytest.raises(ProtocolError):
+            JitteredSchedule(0.0, 1000.0, jitter_ns=-1.0)

@@ -1,0 +1,113 @@
+"""Channels on other processor generations (Sections 6.4, 7).
+
+The paper claims every Intel client/server part from Sandy Bridge (2010)
+onward is affected by at least one channel, and that naively porting
+IChannels to recent AMD parts fails.  These tests run the actual
+channels on the corresponding presets.
+"""
+
+import pytest
+
+from repro import IClass, Loop, System
+from repro.core import (
+    ChannelConfig,
+    IccCoresCovert,
+    IccSMTcovert,
+    IccThreadCovert,
+)
+from repro.errors import CalibrationError
+from repro.soc.config import (
+    amd_zen2_like,
+    preset,
+    sandy_bridge_i7_2600k,
+    skylake_sp_xeon_8160,
+)
+from repro.units import us_to_ns
+
+PAYLOAD = b"\x3c\xa5"
+
+
+class TestSandyBridge:
+    """The oldest affected client part (2010)."""
+
+    def test_thread_channel_works(self):
+        channel = IccThreadCovert(System(sandy_bridge_i7_2600k()))
+        report = channel.transfer(PAYLOAD)
+        assert report.received == PAYLOAD
+
+    def test_smt_channel_works(self):
+        channel = IccSMTcovert(System(sandy_bridge_i7_2600k()))
+        report = channel.transfer(PAYLOAD)
+        assert report.received == PAYLOAD
+
+    def test_cores_channel_works(self):
+        channel = IccCoresCovert(System(sandy_bridge_i7_2600k()))
+        report = channel.transfer(PAYLOAD)
+        assert report.received == PAYLOAD
+
+    def test_no_avx_power_gate(self):
+        # Pre-Skylake: the first AVX loop pays no wake latency.
+        system = System(sandy_bridge_i7_2600k())
+        sink = []
+
+        def program():
+            yield system.until(us_to_ns(5.0))
+            sink.append((yield system.execute(0, Loop(IClass.HEAVY_256, 10))))
+
+        system.spawn(program())
+        system.run_until(us_to_ns(300.0))
+        assert sink[0].gate_wake_ns == 0.0
+
+
+class TestSkylakeSPServer:
+    """Server parts share the client core's machinery (Section 6.4)."""
+
+    def test_thread_channel_works(self):
+        config = skylake_sp_xeon_8160()
+        system = System(config, governor_freq_ghz=config.base_freq_ghz)
+        report = IccThreadCovert(system).transfer(PAYLOAD)
+        assert report.received == PAYLOAD
+
+    def test_cores_channel_works_on_far_cores(self):
+        config = skylake_sp_xeon_8160()
+        system = System(config, governor_freq_ghz=config.base_freq_ghz)
+        channel = IccCoresCovert(system, sender_core=3, receiver_core=17)
+        report = channel.transfer(PAYLOAD)
+        assert report.received == PAYLOAD
+
+    def test_smt_channel_works(self):
+        config = skylake_sp_xeon_8160()
+        system = System(config, governor_freq_ghz=config.base_freq_ghz)
+        report = IccSMTcovert(system, core=5).transfer(PAYLOAD)
+        assert report.received == PAYLOAD
+
+    def test_avx512_available(self):
+        assert skylake_sp_xeon_8160().max_vector_bits == 512
+
+
+class TestAmdZenLike:
+    """Per-core LDOs: the porting failure the paper reports (Section 7)."""
+
+    def test_cross_core_channel_fails(self):
+        system = System(amd_zen2_like())
+        channel = IccCoresCovert(system)
+        with pytest.raises(CalibrationError):
+            channel.calibrate()
+
+    def test_same_core_levels_below_reliable_separation(self):
+        # The fast LDO ramp leaves level separations far below the
+        # 2K-cycle spacing threshold decoding needs.
+        system = System(amd_zen2_like())
+        channel = IccThreadCovert(
+            system, ChannelConfig(min_level_gap_tsc=2000.0))
+        with pytest.raises(CalibrationError):
+            channel.calibrate()
+
+    def test_rails_are_per_core_by_construction(self):
+        system = System(amd_zen2_like())
+        assert len(system.pmu.rails) == system.config.n_cores
+
+    def test_preset_lookup(self):
+        assert preset("amd_zen2").codename == "Zen2-like"
+        assert preset("skylake_sp").n_cores == 24
+        assert preset("sandy_bridge").codename == "Sandy Bridge"

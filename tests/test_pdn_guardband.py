@@ -1,0 +1,88 @@
+"""Adaptive voltage guardband (Equation 1)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa import IClass
+from repro.pdn import GuardbandModel, LoadLine
+
+
+@pytest.fixture
+def model():
+    return GuardbandModel(LoadLine(0.0018))
+
+
+class TestDeltaV:
+    def test_scalar_reference_has_zero_guardband(self, model):
+        assert model.delta_v(IClass.SCALAR_64, 0.8, 2.0) == 0.0
+
+    def test_equation1_value(self, model):
+        # dV = (Cdyn2 - Cdyn1) * Vcc * F * R_LL
+        expected = (IClass.HEAVY_256.cdyn_nf - IClass.SCALAR_64.cdyn_nf) \
+            * 0.8 * 2.0 * 0.0018
+        assert model.delta_v(IClass.HEAVY_256, 0.8, 2.0) == pytest.approx(expected)
+
+    def test_linear_in_frequency(self, model):
+        dv1 = model.delta_v(IClass.HEAVY_256, 0.8, 1.0)
+        dv2 = model.delta_v(IClass.HEAVY_256, 0.8, 2.0)
+        assert dv2 == pytest.approx(2 * dv1)
+
+    def test_linear_in_voltage(self, model):
+        dv1 = model.delta_v(IClass.HEAVY_256, 0.4, 2.0)
+        dv2 = model.delta_v(IClass.HEAVY_256, 0.8, 2.0)
+        assert dv2 == pytest.approx(2 * dv1)
+
+    def test_monotone_in_intensity(self, model):
+        dvs = [model.delta_v(c, 0.8, 2.0) for c in sorted(IClass)]
+        assert all(b >= a for a, b in zip(dvs, dvs[1:]))
+        assert dvs[-1] > dvs[0]
+
+    def test_rejects_nonpositive_inputs(self, model):
+        with pytest.raises(ConfigError):
+            model.delta_v(IClass.HEAVY_256, 0.0, 2.0)
+        with pytest.raises(ConfigError):
+            model.delta_v(IClass.HEAVY_256, 0.8, 0.0)
+
+
+class TestTargetVcc:
+    def test_no_active_classes_keeps_baseline(self, model):
+        assert model.target_vcc(0.8, [], 2.0) == pytest.approx(0.8)
+
+    def test_per_core_contributions_add(self, model):
+        one = model.target_vcc(0.8, [IClass.HEAVY_256], 2.0)
+        two = model.target_vcc(0.8, [IClass.HEAVY_256, IClass.HEAVY_256], 2.0)
+        assert two - 0.8 == pytest.approx(2 * (one - 0.8))
+
+    def test_figure6_staggered_steps(self, model):
+        # Each core joining AVX2 at 2 GHz adds its own ~8-9 mV step.
+        base = 0.788
+        one = model.target_vcc(base, [IClass.HEAVY_256], 2.0)
+        step_mv = (one - base) * 1000
+        assert 7.0 < step_mv < 10.0
+
+    def test_scalar_cores_contribute_nothing(self, model):
+        mixed = model.target_vcc(0.8, [IClass.HEAVY_512, IClass.SCALAR_64], 2.0)
+        single = model.target_vcc(0.8, [IClass.HEAVY_512], 2.0)
+        assert mixed == pytest.approx(single)
+
+
+class TestWorstCase:
+    def test_worst_case_covers_any_state(self, model):
+        worst = model.worst_case_vcc(0.8, n_cores=2, freq_ghz=2.0)
+        for iclass in IClass:
+            assert worst >= model.target_vcc(0.8, [iclass, iclass], 2.0) - 1e-12
+
+    def test_rejects_zero_cores(self, model):
+        with pytest.raises(ConfigError):
+            model.worst_case_vcc(0.8, n_cores=0, freq_ghz=2.0)
+
+
+class TestLadder:
+    def test_ladder_covers_all_classes(self, model):
+        ladder = model.level_ladder(0.8, 2.0)
+        assert set(ladder) == set(IClass)
+
+    def test_ladder_monotone(self, model):
+        ladder = model.level_ladder(0.8, 2.0)
+        values = [ladder[c] for c in sorted(IClass)]
+        assert all(b >= a for a, b in zip(values, values[1:]))

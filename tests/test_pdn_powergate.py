@@ -1,0 +1,85 @@
+"""AVX power gates with staggered wake-up."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pdn import PowerGate, PowerGateSpec
+from repro.pdn.powergate import haswell_gate, skylake_gate
+from repro.units import us_to_ns
+
+
+class TestSpec:
+    def test_rejects_negative_wake(self):
+        with pytest.raises(ConfigError):
+            PowerGateSpec(wake_ns=-1.0)
+
+    def test_rejects_nonpositive_idle_close(self):
+        with pytest.raises(ConfigError):
+            PowerGateSpec(idle_close_us=0.0)
+
+    def test_default_wake_in_measured_range(self):
+        # The paper measures 8-15 ns of staggered wake (Figure 8b).
+        assert 8.0 <= PowerGateSpec().wake_ns <= 15.0
+
+
+class TestGateBehaviour:
+    def test_first_access_pays_wake(self):
+        gate = skylake_gate()
+        assert gate.access(0.0) == pytest.approx(12.0)
+
+    def test_second_access_free(self):
+        gate = skylake_gate()
+        gate.access(0.0)
+        assert gate.access(100.0) == 0.0
+
+    def test_gate_closes_after_idle_timeout(self):
+        gate = PowerGate(PowerGateSpec(idle_close_us=10.0))
+        gate.access(0.0)
+        assert gate.access(us_to_ns(11.0) + 13.0) > 0.0
+
+    def test_gate_stays_open_within_timeout(self):
+        gate = PowerGate(PowerGateSpec(idle_close_us=10.0))
+        gate.access(0.0)
+        assert gate.access(us_to_ns(5.0)) == 0.0
+
+    def test_touch_refreshes_idle_timer(self):
+        gate = PowerGate(PowerGateSpec(idle_close_us=10.0))
+        gate.access(0.0)
+        gate.touch(us_to_ns(8.0))
+        # 8 us of touches + 8 more us stays within the 10 us window of
+        # the last touch.
+        assert gate.access(us_to_ns(16.0)) == 0.0
+
+    def test_is_open_applies_lazy_close(self):
+        gate = PowerGate(PowerGateSpec(idle_close_us=10.0))
+        gate.access(0.0)
+        assert gate.is_open(us_to_ns(5.0))
+        assert not gate.is_open(us_to_ns(30.0))
+
+    def test_open_events_counted(self):
+        gate = PowerGate(PowerGateSpec(idle_close_us=10.0))
+        gate.access(0.0)
+        gate.access(us_to_ns(30.0))  # reopens
+        assert gate.open_events == 2
+
+
+class TestHaswell:
+    def test_no_gate_means_no_wake_latency(self):
+        # Pre-Skylake parts have no AVX power gate (Key Conclusion 3 /
+        # Figure 8c: flat iteration latencies on Haswell).
+        gate = haswell_gate()
+        assert gate.access(0.0) == 0.0
+        assert gate.access(us_to_ns(1000.0)) == 0.0
+
+    def test_always_open(self):
+        gate = haswell_gate()
+        assert gate.is_open(0.0)
+        assert gate.open_events == 0
+
+
+class TestWakeShareOfThrottling:
+    def test_wake_is_tiny_fraction_of_throttling_period(self):
+        # Key Conclusion 3: ~12 ns wake vs 12-15 us TP -> ~0.1 %.
+        wake = skylake_gate().spec.wake_ns
+        tp_ns = 13_000.0
+        assert wake / tp_ns < 0.002

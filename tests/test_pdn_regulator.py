@@ -1,0 +1,150 @@
+"""Voltage regulator models: spec validation, commands, histories."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.pdn import VRKind, VRSpec, VoltageRegulator
+from repro.pdn.regulator import fivr_spec, ldo_spec, mbvr_spec
+
+
+def make_spec(**overrides):
+    base = dict(kind=VRKind.MBVR, slew_mv_per_us=1.25,
+                command_latency_ns=1500.0, vid_step_mv=2.5,
+                vcc_max=1.2, icc_max=50.0)
+    base.update(overrides)
+    return VRSpec(**base)
+
+
+class TestVRSpec:
+    def test_rejects_nonpositive_slew(self):
+        with pytest.raises(ConfigError):
+            make_spec(slew_mv_per_us=0.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            make_spec(command_latency_ns=-1.0)
+
+    def test_rejects_nonpositive_vid_step(self):
+        with pytest.raises(ConfigError):
+            make_spec(vid_step_mv=0.0)
+
+    def test_rejects_nonpositive_limits(self):
+        with pytest.raises(ConfigError):
+            make_spec(vcc_max=0.0)
+        with pytest.raises(ConfigError):
+            make_spec(icc_max=-1.0)
+
+    def test_quantize_rounds_up(self):
+        spec = make_spec(vid_step_mv=5.0)
+        assert spec.quantize_vid(0.8001) == pytest.approx(0.805)
+
+    def test_quantize_exact_value_unchanged(self):
+        spec = make_spec(vid_step_mv=5.0)
+        assert spec.quantize_vid(0.805) == pytest.approx(0.805)
+
+    def test_transition_ns_includes_latency_and_slew(self):
+        spec = make_spec(slew_mv_per_us=1.0, command_latency_ns=1000.0)
+        # 10 mV at 1 mV/us = 10 us slew + 1 us latency.
+        assert spec.transition_ns(0.800, 0.810) == pytest.approx(11_000.0)
+
+    def test_transition_symmetric_up_down(self):
+        spec = make_spec()
+        assert spec.transition_ns(0.8, 0.9) == pytest.approx(
+            spec.transition_ns(0.9, 0.8))
+
+
+class TestFactories:
+    def test_mbvr_is_slowest(self):
+        mbvr = mbvr_spec(1.2, 50.0)
+        fivr = fivr_spec(1.2, 50.0)
+        ldo = ldo_spec(1.2, 50.0)
+        assert mbvr.slew_mv_per_us < fivr.slew_mv_per_us < ldo.slew_mv_per_us
+
+    def test_ldo_transitions_under_half_microsecond(self):
+        # The Section 7 mitigation claim: LDO transitions < 0.5 us.
+        ldo = ldo_spec(1.2, 50.0)
+        assert ldo.transition_ns(0.800, 0.840) < 500.0
+
+    def test_kinds(self):
+        assert mbvr_spec(1.2, 50.0).kind == VRKind.MBVR
+        assert fivr_spec(1.2, 50.0).kind == VRKind.FIVR
+        assert ldo_spec(1.2, 50.0).kind == VRKind.LDO
+
+
+class TestVoltageRegulator:
+    def test_initial_voltage(self):
+        vr = VoltageRegulator(make_spec(), 0.8)
+        assert vr.voltage_at(0.0) == pytest.approx(0.8)
+
+    def test_command_reaches_target_after_settle(self):
+        vr = VoltageRegulator(make_spec(vid_step_mv=5.0), 0.8)
+        settle = vr.command(0.0, 0.82)
+        assert vr.voltage_at(settle) == pytest.approx(0.82)
+
+    def test_command_returns_settle_time(self):
+        spec = make_spec(slew_mv_per_us=1.0, command_latency_ns=1000.0,
+                         vid_step_mv=5.0)
+        vr = VoltageRegulator(spec, 0.8)
+        settle = vr.command(0.0, 0.810)
+        assert settle == pytest.approx(11_000.0)
+
+    def test_voltage_ramps_linearly(self):
+        spec = make_spec(slew_mv_per_us=1.0, command_latency_ns=0.0,
+                         vid_step_mv=5.0)
+        vr = VoltageRegulator(spec, 0.8)
+        vr.command(0.0, 0.810)
+        assert vr.voltage_at(5_000.0) == pytest.approx(0.805)
+
+    def test_voltage_flat_during_command_latency(self):
+        spec = make_spec(slew_mv_per_us=1.0, command_latency_ns=2_000.0,
+                         vid_step_mv=5.0)
+        vr = VoltageRegulator(spec, 0.8)
+        vr.command(0.0, 0.810)
+        assert vr.voltage_at(1_000.0) == pytest.approx(0.8)
+
+    def test_busy_until_command_settles(self):
+        vr = VoltageRegulator(make_spec(), 0.8)
+        settle = vr.command(0.0, 0.85)
+        assert vr.is_busy(settle / 2)
+        assert not vr.is_busy(settle)
+
+    def test_command_while_busy_raises(self):
+        vr = VoltageRegulator(make_spec(), 0.8)
+        vr.command(0.0, 0.85)
+        with pytest.raises(SimulationError):
+            vr.command(10.0, 0.9)
+
+    def test_noop_command_settles_immediately(self):
+        vr = VoltageRegulator(make_spec(vid_step_mv=5.0), 0.805)
+        settle = vr.command(100.0, 0.805)
+        assert settle == pytest.approx(100.0)
+        assert not vr.is_busy(100.0)
+
+    def test_target_clamped_to_vcc_max(self):
+        vr = VoltageRegulator(make_spec(vcc_max=0.9), 0.8)
+        settle = vr.command(0.0, 1.5)
+        assert vr.voltage_at(settle) == pytest.approx(0.9)
+
+    def test_settled_voltage_is_latest_target(self):
+        vr = VoltageRegulator(make_spec(vid_step_mv=5.0), 0.8)
+        settle = vr.command(0.0, 0.82)
+        assert vr.settled_voltage() == pytest.approx(0.82)
+        vr.command(settle + 1.0, 0.8)
+        assert vr.settled_voltage() == pytest.approx(0.8)
+
+    def test_down_transition_supported(self):
+        vr = VoltageRegulator(make_spec(vid_step_mv=5.0), 0.9)
+        settle = vr.command(0.0, 0.8)
+        assert vr.voltage_at(settle) == pytest.approx(0.8)
+        assert vr.voltage_at(settle / 2) < 0.9
+
+    def test_history_breakpoints_nondecreasing_time(self):
+        vr = VoltageRegulator(make_spec(), 0.8)
+        settle = vr.command(0.0, 0.85)
+        vr.command(settle + 5.0, 0.8)
+        times = [t for t, _ in vr.history()]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_rejects_nonpositive_initial_voltage(self):
+        with pytest.raises(ConfigError):
+            VoltageRegulator(make_spec(), 0.0)

@@ -1,0 +1,242 @@
+"""Central PMU: serialised transitions, collective release, limits."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa import IClass
+from repro.pdn import GuardbandModel, LoadLine, VoltageRegulator
+from repro.pmu import CentralPMU, LimitPolicy, PMUConfig
+from repro.pmu.dvfs import pstate_ladder
+from repro.soc.config import cannon_lake_i3_8121u
+from repro.soc.engine import Engine
+
+
+def build_pmu(n_cores=2, per_core_vr=False, secure=False, freq=2.2):
+    config = cannon_lake_i3_8121u()
+    engine = Engine()
+    curve = config.vf_curve()
+    guardband = GuardbandModel(LoadLine(config.r_ll_mohm / 1000.0))
+    limits = LimitPolicy(curve, guardband, config.vcc_max, config.icc_max)
+    ladder = pstate_ladder(curve, config.min_freq_ghz, config.max_turbo_ghz)
+    spec = config.vr_spec()
+    v0 = spec.quantize_vid(curve.vcc_for(freq))
+    if per_core_vr:
+        rails = [VoltageRegulator(spec, v0, name=f"vr{i}") for i in range(n_cores)]
+        rail_of_core = list(range(n_cores))
+    else:
+        rails = [VoltageRegulator(spec, v0, name="vr")]
+        rail_of_core = [0] * n_cores
+    pmu = CentralPMU(engine, rails, rail_of_core, guardband, curve, limits,
+                     ladder, config.license_table(), requested_freq_ghz=freq,
+                     config=PMUConfig(secure_mode=secure))
+    return engine, pmu
+
+
+class TestRequestUp:
+    def test_scalar_never_queues(self):
+        _, pmu = build_pmu()
+        assert not pmu.request_up(0, IClass.SCALAR_64)
+        assert not pmu.is_core_throttled(0)
+
+    def test_phi_request_throttles_core(self):
+        _, pmu = build_pmu()
+        assert pmu.request_up(0, IClass.HEAVY_256)
+        assert pmu.is_core_throttled(0)
+
+    def test_release_after_settle(self):
+        engine, pmu = build_pmu()
+        pmu.request_up(0, IClass.HEAVY_256)
+        engine.run()
+        assert not pmu.is_core_throttled(0)
+        assert pmu.granted[0] == IClass.HEAVY_256
+
+    def test_rail_voltage_rises_for_grant(self):
+        engine, pmu = build_pmu()
+        before = pmu.core_voltage(0)
+        pmu.request_up(0, IClass.HEAVY_512)
+        engine.run()
+        assert pmu.core_voltage(0, engine.now) > before
+
+    def test_covered_request_does_not_throttle(self):
+        engine, pmu = build_pmu()
+        pmu.request_up(0, IClass.HEAVY_512)
+        engine.run()
+        assert not pmu.request_up(0, IClass.HEAVY_256)
+        assert not pmu.is_core_throttled(0)
+
+    def test_duplicate_pending_request_not_requeued(self):
+        engine, pmu = build_pmu()
+        pmu.request_up(0, IClass.HEAVY_256)
+        pmu.request_up(0, IClass.HEAVY_256)
+        engine.run()
+        assert pmu.transitions_issued[0] == 1
+
+    def test_escalation_while_pending_queues_higher_level(self):
+        engine, pmu = build_pmu()
+        pmu.request_up(0, IClass.HEAVY_128)
+        pmu.request_up(0, IClass.HEAVY_512)
+        engine.run()
+        assert pmu.granted[0] == IClass.HEAVY_512
+
+    def test_unknown_core_rejected(self):
+        _, pmu = build_pmu()
+        with pytest.raises(ConfigError):
+            pmu.request_up(7, IClass.HEAVY_256)
+
+
+class TestSerialization:
+    def test_two_cores_serialise_on_shared_rail(self):
+        # Multi-Throttling-Cores root cause: one transition at a time.
+        engine, pmu = build_pmu()
+        release_times = {}
+
+        def watch():
+            for core in range(2):
+                if core not in release_times and not pmu.is_core_throttled(core):
+                    if pmu.granted[core] != IClass.SCALAR_64:
+                        release_times[core] = engine.now
+
+        pmu.on_state_change = watch
+        pmu.request_up(0, IClass.HEAVY_256)
+        engine.schedule(200.0, lambda: pmu.request_up(1, IClass.HEAVY_256))
+        engine.run()
+        assert pmu.transitions_issued[0] == 2  # one per core, serialised
+
+    def test_collective_release_when_queue_drains(self):
+        # Both cores stay throttled until the rail settles for everyone.
+        engine, pmu = build_pmu()
+        pmu.request_up(0, IClass.HEAVY_256)
+        pmu.request_up(1, IClass.HEAVY_256)
+        assert pmu.is_core_throttled(0) and pmu.is_core_throttled(1)
+        # Run until the first transition settles but not the second.
+        first_settle = pmu.rails[0].busy_until
+        engine.run_until(first_settle + 1.0)
+        assert pmu.is_core_throttled(0), "core 0 released before rail finished"
+        engine.run()
+        assert not pmu.is_core_throttled(0)
+        assert not pmu.is_core_throttled(1)
+
+    def test_second_core_transition_takes_longer(self):
+        engine, pmu = build_pmu()
+        pmu.request_up(0, IClass.HEAVY_256)
+        engine.run()
+        t_single = engine.now
+
+        engine2, pmu2 = build_pmu()
+        pmu2.request_up(0, IClass.HEAVY_256)
+        pmu2.request_up(1, IClass.HEAVY_256)
+        engine2.run()
+        assert engine2.now > t_single * 1.5
+
+    def test_per_core_rails_do_not_serialise(self):
+        engine, pmu = build_pmu(per_core_vr=True)
+        pmu.request_up(0, IClass.HEAVY_256)
+        pmu.request_up(1, IClass.HEAVY_256)
+        # Both rails transition concurrently: each issues exactly one.
+        engine.run()
+        assert pmu.transitions_issued == [1, 1]
+
+    def test_per_core_rail_target_excludes_other_cores(self):
+        engine, pmu = build_pmu(per_core_vr=True)
+        pmu.request_up(0, IClass.HEAVY_512)
+        pmu.request_up(1, IClass.HEAVY_128)
+        engine.run()
+        v0 = pmu.core_voltage(0, engine.now)
+        v1 = pmu.core_voltage(1, engine.now)
+        assert v0 > v1  # core 1's rail unaffected by core 0's big guardband
+
+
+class TestRequestDown:
+    def test_down_lowers_rail_without_throttling(self):
+        engine, pmu = build_pmu()
+        pmu.request_up(0, IClass.HEAVY_512)
+        engine.run()
+        high = pmu.core_voltage(0, engine.now)
+        pmu.request_down(0, IClass.SCALAR_64)
+        assert not pmu.is_core_throttled(0)
+        engine.run()
+        assert pmu.core_voltage(0, engine.now) < high
+        assert pmu.granted[0] == IClass.SCALAR_64
+
+    def test_down_to_same_or_higher_ignored(self):
+        engine, pmu = build_pmu()
+        pmu.request_down(0, IClass.SCALAR_64)
+        engine.run()
+        assert pmu.transitions_issued[0] == 0
+
+
+class TestFrequencyProtection:
+    def test_icc_limit_drops_frequency(self):
+        # Two mobile cores of AVX2 at 3.1 GHz exceed Icc_max (Fig. 7).
+        engine, pmu = build_pmu(freq=3.1)
+        pmu.set_core_active(0, True)
+        pmu.set_core_active(1, True)
+        pmu.request_up(0, IClass.HEAVY_256)
+        pmu.request_up(1, IClass.HEAVY_256)
+        engine.run()
+        assert pmu.freq_ghz < 3.1
+
+    def test_frequency_restores_after_down(self):
+        engine, pmu = build_pmu(freq=3.1)
+        pmu.set_core_active(0, True)
+        pmu.set_core_active(1, True)
+        pmu.request_up(0, IClass.HEAVY_256)
+        pmu.request_up(1, IClass.HEAVY_256)
+        engine.run()
+        assert pmu.freq_ghz < 3.1
+        pmu.request_down(0, IClass.SCALAR_64)
+        pmu.request_down(1, IClass.SCALAR_64)
+        engine.run()
+        pmu.set_core_active(0, False)
+        pmu.set_core_active(1, False)
+        engine.run()
+        assert pmu.freq_ghz == pytest.approx(3.1)
+
+    def test_no_drop_at_low_frequency(self):
+        # Key paper point: voltage-transition throttling happens at any
+        # frequency, but the frequency itself only drops at turbo.
+        engine, pmu = build_pmu(freq=1.4)
+        pmu.set_core_active(0, True)
+        pmu.request_up(0, IClass.HEAVY_512)
+        engine.run()
+        assert pmu.freq_ghz == pytest.approx(1.4)
+
+    def test_idle_cores_do_not_count(self):
+        engine, pmu = build_pmu(freq=3.1)
+        pmu.set_core_active(0, True)
+        pmu.request_up(0, IClass.SCALAR_64)
+        engine.run()
+        assert pmu.freq_ghz == pytest.approx(3.1)
+
+
+class TestSecureMode:
+    def test_no_request_ever_queues(self):
+        engine, pmu = build_pmu(secure=True)
+        assert not pmu.request_up(0, IClass.HEAVY_512)
+        assert not pmu.is_core_throttled(0)
+        engine.run()
+        assert pmu.transitions_issued[0] == 0
+
+    def test_rail_pinned_at_worst_case(self):
+        _, pmu = build_pmu(secure=True)
+        # The rail carries the full worst-case guardband above the
+        # baseline of the (possibly clamped) secure frequency.
+        baseline = pmu.curve.vcc_for(pmu.freq_ghz)
+        worst = pmu.guardband.worst_case_vcc(baseline, pmu.n_cores,
+                                             pmu.freq_ghz)
+        assert pmu.core_voltage(0, 0.0) >= worst - 0.005  # VID clamping
+
+    def test_secure_frequency_fits_worst_case_envelope(self):
+        # Running everything at the power-virus guardband can force a
+        # lower fixed frequency — a real cost of secure mode.
+        _, pmu = build_pmu(secure=True, freq=3.1)
+        verdict = pmu.limits.evaluate(pmu.freq_ghz,
+                                      [IClass.HEAVY_512] * pmu.n_cores)
+        assert verdict.ok
+        assert pmu.freq_ghz < 3.1
+
+    def test_power_overhead_in_paper_range(self):
+        # Section 7: 4-11 % additional power.
+        _, pmu = build_pmu(secure=True)
+        overhead = pmu.secure_mode_power_overhead(IClass.SCALAR_64)
+        assert 0.04 <= overhead <= 0.11

@@ -1,0 +1,32 @@
+"""Software frequency governors."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pmu import Governor, GovernorKind
+
+
+class TestGovernor:
+    def test_performance_requests_max(self):
+        gov = Governor(GovernorKind.PERFORMANCE, 0.8, 3.2)
+        assert gov.requested_freq_ghz() == pytest.approx(3.2)
+
+    def test_powersave_requests_min(self):
+        gov = Governor(GovernorKind.POWERSAVE, 0.8, 3.2)
+        assert gov.requested_freq_ghz() == pytest.approx(0.8)
+
+    def test_userspace_requests_pinned_value(self):
+        gov = Governor(GovernorKind.USERSPACE, 0.8, 3.2, userspace_ghz=2.2)
+        assert gov.requested_freq_ghz() == pytest.approx(2.2)
+
+    def test_userspace_requires_value(self):
+        with pytest.raises(ConfigError):
+            Governor(GovernorKind.USERSPACE, 0.8, 3.2)
+
+    def test_userspace_value_must_be_in_range(self):
+        with pytest.raises(ConfigError):
+            Governor(GovernorKind.USERSPACE, 0.8, 3.2, userspace_ghz=4.0)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ConfigError):
+            Governor(GovernorKind.PERFORMANCE, 3.2, 0.8)

@@ -1,0 +1,90 @@
+"""Icc_max / Vcc_max limit protection policy."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa import IClass
+from repro.pdn import GuardbandModel, LoadLine
+from repro.pmu import LimitPolicy, VFCurve
+from repro.pmu.dvfs import pstate_ladder
+from repro.soc.config import cannon_lake_i3_8121u, coffee_lake_i7_9700k
+
+
+def policy_for(config):
+    curve = config.vf_curve()
+    guardband = GuardbandModel(LoadLine(config.r_ll_mohm / 1000.0))
+    return LimitPolicy(curve, guardband, config.vcc_max, config.icc_max), curve
+
+
+class TestEvaluate:
+    def test_desktop_avx2_at_49_violates_vcc_only(self):
+        # Figure 7(a): i7-9700K AVX2 at 4.9 GHz crosses Vcc_max = 1.27 V
+        # while Icc stays under 100 A.
+        policy, _ = policy_for(coffee_lake_i7_9700k())
+        verdict = policy.evaluate(4.9, [IClass.HEAVY_256])
+        assert verdict.vcc_violation
+        assert not verdict.icc_violation
+
+    def test_desktop_avx2_at_48_fits(self):
+        policy, _ = policy_for(coffee_lake_i7_9700k())
+        assert policy.evaluate(4.8, [IClass.HEAVY_256]).ok
+
+    def test_mobile_avx2_two_cores_at_31_violates_icc_only(self):
+        # Figure 7(a): i3-8121U, 2 cores AVX2 at 3.1 GHz crosses
+        # Icc_max = 29 A while Vcc stays well under 1.15 V.
+        policy, _ = policy_for(cannon_lake_i3_8121u())
+        verdict = policy.evaluate(3.1, [IClass.HEAVY_256] * 2)
+        assert verdict.icc_violation
+        assert not verdict.vcc_violation
+
+    def test_mobile_avx2_two_cores_at_22_fits(self):
+        policy, _ = policy_for(cannon_lake_i3_8121u())
+        assert policy.evaluate(2.2, [IClass.HEAVY_256] * 2).ok
+
+    def test_mobile_nonavx_at_31_fits(self):
+        policy, _ = policy_for(cannon_lake_i3_8121u())
+        assert policy.evaluate(3.1, [IClass.SCALAR_64] * 2).ok
+
+    def test_current_projection_grows_with_class(self):
+        policy, _ = policy_for(cannon_lake_i3_8121u())
+        scalar = policy.evaluate(2.2, [IClass.SCALAR_64]).icc_projected
+        heavy = policy.evaluate(2.2, [IClass.HEAVY_512]).icc_projected
+        assert heavy > scalar
+
+    def test_vcc_target_includes_guardband(self):
+        policy, curve = policy_for(cannon_lake_i3_8121u())
+        verdict = policy.evaluate(2.2, [IClass.HEAVY_512])
+        assert verdict.vcc_target > curve.vcc_for(2.2)
+
+    def test_rejects_nonpositive_limits(self):
+        policy, curve = policy_for(cannon_lake_i3_8121u())
+        with pytest.raises(ConfigError):
+            LimitPolicy(curve, policy.guardband, 0.0, 29.0)
+
+
+class TestMaxAllowed:
+    def test_drops_frequency_until_limits_fit(self):
+        config = cannon_lake_i3_8121u()
+        policy, curve = policy_for(config)
+        ladder = pstate_ladder(curve, config.min_freq_ghz, config.max_turbo_ghz)
+        state = policy.max_allowed(3.1, [IClass.HEAVY_256] * 2, ladder)
+        assert state.freq_ghz < 3.1
+        assert policy.evaluate(state.freq_ghz, [IClass.HEAVY_256] * 2).ok
+
+    def test_keeps_requested_when_fitting(self):
+        config = cannon_lake_i3_8121u()
+        policy, curve = policy_for(config)
+        ladder = pstate_ladder(curve, config.min_freq_ghz, config.max_turbo_ghz)
+        state = policy.max_allowed(2.2, [IClass.SCALAR_64] * 2, ladder)
+        assert state.freq_ghz == pytest.approx(2.2)
+
+    def test_no_active_classes_returns_requested(self):
+        config = cannon_lake_i3_8121u()
+        policy, curve = policy_for(config)
+        ladder = pstate_ladder(curve, config.min_freq_ghz, config.max_turbo_ghz)
+        assert policy.max_allowed(3.0, [], ladder).freq_ghz == pytest.approx(3.0)
+
+    def test_rejects_empty_ladder(self):
+        policy, _ = policy_for(cannon_lake_i3_8121u())
+        with pytest.raises(ConfigError):
+            policy.max_allowed(2.0, [IClass.SCALAR_64], [])

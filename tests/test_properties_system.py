@@ -1,0 +1,115 @@
+"""System-level property tests: invariants over random schedules."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import IClass, Loop, System, SystemOptions
+from repro.soc.config import cannon_lake_i3_8121u
+from repro.units import us_to_ns
+
+# Keep runs small: each example boots a full system.
+_SETTINGS = dict(max_examples=15, deadline=None)
+
+classes = st.sampled_from(list(IClass))
+schedules = st.lists(
+    st.tuples(
+        st.integers(0, 3),            # hardware thread
+        classes,                      # instruction class
+        st.integers(1, 25),           # iterations
+        st.floats(0.0, 50_000.0),     # start offset ns
+    ),
+    min_size=1, max_size=6,
+)
+
+
+def run_schedule(schedule, options=SystemOptions()):
+    """Execute a random schedule; returns (system, results)."""
+    system = System(cannon_lake_i3_8121u(), options=options)
+    results = []
+
+    def program(thread_id, iclass, iterations, start_ns):
+        def run():
+            yield system.until(start_ns)
+            result = yield system.execute(thread_id, Loop(iclass, iterations))
+            results.append(result)
+        return run()
+
+    for thread_id, iclass, iterations, start_ns in schedule:
+        system.spawn(program(thread_id, iclass, iterations, start_ns))
+    system.run_until(us_to_ns(4_000.0))
+    return system, results
+
+
+class TestScheduleInvariants:
+    @settings(**_SETTINGS)
+    @given(schedules)
+    def test_every_loop_completes(self, schedule):
+        # One loop at a time per thread: keep threads distinct per item.
+        deduped = {item[0]: item for item in schedule}.values()
+        _, results = run_schedule(list(deduped))
+        assert len(results) == len(deduped)
+
+    @settings(**_SETTINGS)
+    @given(schedules)
+    def test_throttled_time_bounded_by_elapsed(self, schedule):
+        deduped = list({item[0]: item for item in schedule}.values())
+        _, results = run_schedule(deduped)
+        for result in results:
+            assert 0.0 <= result.throttled_ns <= result.elapsed_ns + 1e-6
+
+    @settings(**_SETTINGS)
+    @given(schedules)
+    def test_tsc_consistent_with_wall_time(self, schedule):
+        deduped = list({item[0]: item for item in schedule}.values())
+        system, results = run_schedule(deduped)
+        for result in results:
+            expected = result.elapsed_ns * system.config.base_freq_ghz
+            assert abs(result.elapsed_tsc - expected) <= 2
+
+    @settings(**_SETTINGS)
+    @given(schedules)
+    def test_rail_voltage_always_within_limits(self, schedule):
+        deduped = list({item[0]: item for item in schedule}.values())
+        system, _ = run_schedule(deduped)
+        spec = system.pmu.rail_of(0).spec
+        for t in range(0, 4_000_000, 250_000):
+            v = system.vcc_at(float(t))
+            assert 0.5 <= v <= spec.vcc_max + 1e-9
+
+    @settings(**_SETTINGS)
+    @given(schedules)
+    def test_no_voltage_emergencies_in_normal_operation(self, schedule):
+        # The central safety property of current management.
+        deduped = list({item[0]: item for item in schedule}.values())
+        system, _ = run_schedule(deduped)
+        assert system.voltage_emergencies == []
+
+    @settings(**_SETTINGS)
+    @given(schedules)
+    def test_elapsed_at_least_unthrottled_time(self, schedule):
+        deduped = list({item[0]: item for item in schedule}.values())
+        system, results = run_schedule(deduped)
+        # Frequency can only be at or below the governor request, so the
+        # unthrottled time at the requested frequency lower-bounds every
+        # execution (modulo the ns-scale gate wake).
+        freq = system.pmu.requested_freq_ghz
+        for result in results:
+            floor = (result.instructions / 2.0) / freq  # ipc <= 2
+            assert result.elapsed_ns >= floor - 1e-6
+
+    @settings(**_SETTINGS)
+    @given(schedules)
+    def test_secure_mode_never_throttles_any_schedule(self, schedule):
+        deduped = list({item[0]: item for item in schedule}.values())
+        _, results = run_schedule(deduped,
+                                  options=SystemOptions(secure_mode=True))
+        for result in results:
+            assert result.throttled_ns == 0.0
+
+    @settings(**_SETTINGS)
+    @given(schedules)
+    def test_deterministic_replay(self, schedule):
+        deduped = list({item[0]: item for item in schedule}.values())
+        _, first = run_schedule(deduped)
+        _, second = run_schedule(deduped)
+        assert [(r.start_ns, r.end_ns, r.throttled_ns) for r in first] == \
+               [(r.start_ns, r.end_ns, r.throttled_ns) for r in second]

@@ -1,0 +1,145 @@
+"""Discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.soc import Engine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(20.0, lambda: order.append("b"))
+        engine.schedule(10.0, lambda: order.append("a"))
+        engine.schedule(30.0, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        engine = Engine()
+        order = []
+        for tag in "abc":
+            engine.schedule(10.0, order.append, tag)
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(42.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [42.0]
+
+    def test_schedule_with_args(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, lambda a, b: seen.append(a + b), 2, 3)
+        engine.run()
+        assert seen == [5]
+
+    def test_schedule_in_past_rejected(self):
+        engine = Engine()
+        engine.schedule(10.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(15.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [15.0]
+
+    def test_schedule_at_past_rejected(self):
+        engine = Engine()
+        engine.schedule(10.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        order = []
+
+        def outer():
+            order.append("outer")
+            engine.schedule(5.0, lambda: order.append("inner"))
+
+        engine.schedule(10.0, outer)
+        engine.run()
+        assert order == ["outer", "inner"]
+        assert engine.now == 15.0
+
+
+class TestCancel:
+    def test_cancelled_event_does_not_run(self):
+        engine = Engine()
+        seen = []
+        handle = engine.schedule(10.0, lambda: seen.append(1))
+        handle.cancel()
+        engine.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        handle = engine.schedule(10.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        engine.run()
+
+    def test_peek_skips_cancelled(self):
+        engine = Engine()
+        first = engine.schedule(10.0, lambda: None)
+        engine.schedule(20.0, lambda: None)
+        first.cancel()
+        assert engine.peek_time() == 20.0
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_horizon(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(10.0, lambda: seen.append("early"))
+        engine.schedule(100.0, lambda: seen.append("late"))
+        engine.run_until(50.0)
+        assert seen == ["early"]
+        assert engine.now == 50.0
+
+    def test_run_until_includes_boundary(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(50.0, lambda: seen.append("x"))
+        engine.run_until(50.0)
+        assert seen == ["x"]
+
+    def test_run_until_backwards_rejected(self):
+        engine = Engine()
+        engine.run_until(100.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(50.0)
+
+    def test_clock_ends_at_horizon_even_if_queue_empty(self):
+        engine = Engine()
+        engine.run_until(123.0)
+        assert engine.now == 123.0
+
+
+class TestRunaway:
+    def test_run_bounded_by_max_events(self):
+        engine = Engine()
+
+        def reschedule():
+            engine.schedule(1.0, reschedule)
+
+        engine.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+    def test_events_run_counter(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.events_run == 5

@@ -1,0 +1,94 @@
+"""Static channel-feasibility predictions, cross-checked with runs."""
+
+import pytest
+
+from repro.core.levels import ChannelLocation
+from repro.soc.config import (
+    amd_zen2_like,
+    cannon_lake_i3_8121u,
+    coffee_lake_i7_9700k,
+    haswell_i7_4770k,
+    sandy_bridge_i7_2600k,
+    skylake_sp_xeon_8160,
+)
+from repro.soc.feasibility import analyze
+
+
+class TestIntelPartsFeasible:
+    @pytest.mark.parametrize("factory", [
+        cannon_lake_i3_8121u, coffee_lake_i7_9700k, haswell_i7_4770k,
+        sandy_bridge_i7_2600k, skylake_sp_xeon_8160,
+    ])
+    def test_same_thread_feasible_on_every_intel_part(self, factory):
+        report = analyze(factory())
+        verdict = report.verdict(ChannelLocation.SAME_THREAD)
+        assert verdict.feasible, verdict.reasons
+
+    @pytest.mark.parametrize("factory", [
+        cannon_lake_i3_8121u, coffee_lake_i7_9700k, haswell_i7_4770k,
+        sandy_bridge_i7_2600k, skylake_sp_xeon_8160,
+    ])
+    def test_cross_core_feasible_on_every_intel_part(self, factory):
+        report = analyze(factory())
+        assert report.verdict(ChannelLocation.ACROSS_CORES).feasible
+
+    def test_smt_infeasible_without_smt(self):
+        report = analyze(coffee_lake_i7_9700k())
+        verdict = report.verdict(ChannelLocation.ACROSS_SMT)
+        assert not verdict.feasible
+        assert any("SMT" in reason for reason in verdict.reasons)
+
+    def test_smt_feasible_with_smt(self):
+        report = analyze(cannon_lake_i3_8121u())
+        assert report.verdict(ChannelLocation.ACROSS_SMT).feasible
+
+
+class TestAmdLikePartInfeasible:
+    def test_cross_core_blocked_by_per_core_rails(self):
+        report = analyze(amd_zen2_like())
+        verdict = report.verdict(ChannelLocation.ACROSS_CORES)
+        assert not verdict.feasible
+        assert any("per-core" in reason for reason in verdict.reasons)
+
+    def test_fast_ldo_collapses_every_ladder(self):
+        report = analyze(amd_zen2_like())
+        for location in ChannelLocation:
+            verdict = report.verdict(location)
+            assert not verdict.feasible, location
+        assert not report.any_feasible()
+
+
+class TestGeometry:
+    def test_level_tps_monotone(self):
+        report = analyze(cannon_lake_i3_8121u())
+        ladder = [report.level_tp_us[label] for label in
+                  ("128b_Heavy", "256b_Light", "256b_Heavy", "512b_Heavy")]
+        assert all(b > a for a, b in zip(ladder, ladder[1:]))
+
+    def test_gap_reported_in_tsc_cycles(self):
+        report = analyze(cannon_lake_i3_8121u())
+        verdict = report.verdict(ChannelLocation.SAME_THREAD)
+        assert verdict.min_level_gap_tsc > 2000.0
+
+    def test_prediction_matches_simulation(self):
+        # The point of the analyzer: agree with real channel runs.
+        from repro import System
+        from repro.core import IccCoresCovert
+        from repro.errors import CalibrationError
+
+        feasible = analyze(cannon_lake_i3_8121u()).verdict(
+            ChannelLocation.ACROSS_CORES).feasible
+        assert feasible
+        report = IccCoresCovert(System(cannon_lake_i3_8121u())).transfer(b"\x77")
+        assert report.ber == 0.0
+
+        infeasible = analyze(amd_zen2_like()).verdict(
+            ChannelLocation.ACROSS_CORES).feasible
+        assert not infeasible
+        with pytest.raises(CalibrationError):
+            IccCoresCovert(System(amd_zen2_like())).calibrate()
+
+    def test_unknown_location_rejected(self):
+        report = analyze(cannon_lake_i3_8121u())
+        with pytest.raises(KeyError):
+            report.verdict("nowhere")
