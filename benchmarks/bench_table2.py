@@ -6,7 +6,7 @@ crosses cores but needs turbo and manages ~61 b/s; IChannels covers all
 three placements at ~3 kb/s, user-level, turbo-independent.
 """
 
-from conftest import banner
+from conftest import banner, runner_from_env
 
 from repro.analysis.experiments import fig12_throughput, table2_comparison
 from repro.analysis.figures import format_table
@@ -14,7 +14,8 @@ from repro.analysis.figures import format_table
 
 def test_bench_table2(benchmark):
     def build():
-        return table2_comparison(fig12_throughput())
+        runner = runner_from_env()
+        return table2_comparison(fig12_throughput(runner=runner))
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
 

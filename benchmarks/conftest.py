@@ -12,6 +12,24 @@ but the benchmark timings and ``extra_info`` summaries still print.
 
 from __future__ import annotations
 
+import os
+
+from repro.runner import ResultCache, SweepRunner
+
+
+def runner_from_env() -> SweepRunner:
+    """A :class:`SweepRunner` configured from the environment.
+
+    ``REPRO_JOBS`` sets the worker-process count (default 1, serial) and
+    ``REPRO_CACHE_DIR`` — when set — attaches a result cache there, so
+    CI can parallelise and warm-cache the sweep benchmarks without
+    touching the harness code.
+    """
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    cache = ResultCache(root=cache_dir) if cache_dir else None
+    return SweepRunner(jobs=jobs, cache=cache)
+
 
 def banner(title: str) -> None:
     """Print a section header for a regenerated artifact."""

@@ -2,42 +2,81 @@
 
 Transfers a message over each of the three IChannels on a simulated
 Cannon Lake part and prints the decoded payloads — the fastest way to
-see the reproduction work.  For the full paper regeneration use
-``python -m repro.analysis.report``.
+see the reproduction work.  ``--jobs N`` runs the three transfers on a
+process pool and ``--cache-dir PATH`` caches their results (see
+:mod:`repro.runner`); the demo output is identical either way.  For the
+full paper regeneration use ``python -m repro.analysis.report``.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+from typing import Optional, Sequence, Tuple
 
 from repro import System, cannon_lake_i3_8121u
 from repro.core import IccCoresCovert, IccSMTcovert, IccThreadCovert
+from repro.runner import ResultCache, SweepRunner
+
+_DEMO_CHANNELS = {
+    "IccThreadCovert": IccThreadCovert,
+    "IccSMTcovert": IccSMTcovert,
+    "IccCoresCovert": IccCoresCovert,
+}
 
 
-def main() -> int:
+def _demo_transfer(channel_name: str,
+                   message: bytes) -> Tuple[bytes, float, float]:
+    """One demo transfer: (received, ber, throughput_bps)."""
+    system = System(cannon_lake_i3_8121u())
+    report = _DEMO_CHANNELS[channel_name](system).transfer(message)
+    return report.received, report.ber, report.throughput_bps
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the three channels end to end and print a one-line summary each."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="IChannels reproduction demo (three covert channels).")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the transfers (default: 1, serial)")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="cache transfer results under PATH (default: no cache)")
+    args = parser.parse_args(list(argv) if argv is not None else [])
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    cache = ResultCache(root=args.cache_dir) if args.cache_dir else None
+    runner = SweepRunner(jobs=args.jobs, cache=cache)
+
     message = b"IChannels"
     print(f"IChannels demo on a simulated {cannon_lake_i3_8121u().name} "
           f"({cannon_lake_i3_8121u().codename})")
     print(f"secret: {message!r}\n")
-    channels = (
-        ("same hardware thread ", IccThreadCovert),
-        ("across SMT threads   ", IccSMTcovert),
-        ("across physical cores", IccCoresCovert),
+    labels = (
+        ("same hardware thread ", "IccThreadCovert"),
+        ("across SMT threads   ", "IccSMTcovert"),
+        ("across physical cores", "IccCoresCovert"),
     )
+    results = runner.map(_demo_transfer, [
+        dict(channel_name=name, message=message) for _, name in labels
+    ])
     failures = 0
-    for label, channel_cls in channels:
-        system = System(cannon_lake_i3_8121u())
-        report = channel_cls(system).transfer(message)
-        ok = report.received == message
+    for (label, _), (received, ber, bps) in zip(labels, results):
+        ok = received == message
         failures += 0 if ok else 1
-        print(f"  {label}: {report.received!r}  "
-              f"BER={report.ber:.3f}  {report.throughput_bps:,.0f} bit/s  "
+        print(f"  {label}: {received!r}  "
+              f"BER={ber:.3f}  {bps:,.0f} bit/s  "
               f"[{'OK' if ok else 'FAILED'}]")
+    if runner.total.cache_hits:
+        print(f"\n({runner.total.cache_hits} of {runner.total.tasks} "
+              f"transfers served from cache)")
     print("\nSee `python -m repro.analysis.report` for every regenerated "
           "table and figure.")
     return 1 if failures else 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))

@@ -5,6 +5,19 @@ the paper describes, and returns a small result dataclass with the
 series/rows the corresponding figure or table plots.  The benchmark
 harnesses under ``benchmarks/`` print these; EXPERIMENTS.md records the
 paper-vs-measured comparison.
+
+Two execution conventions keep regeneration fast at scale:
+
+* rail traces are captured through the vectorized signal exports
+  (:meth:`System.vcc_signal`), so the simulated DAQ evaluates each
+  sample grid in one call instead of one rail lookup per sample;
+* the multi-trial sweeps (fig8, fig10, fig13, fig14, table2/fig12)
+  accept an optional :class:`repro.runner.SweepRunner`.  Every trial is
+  a module-level function of picklable arguments, so a runner with
+  ``jobs > 1`` fans trials out over a process pool and a runner with a
+  cache makes warm reruns free — with results identical to a serial,
+  uncached run in either case.  ``runner=None`` runs serial and
+  uncached, exactly the legacy behaviour.
 """
 
 from __future__ import annotations
@@ -29,6 +42,7 @@ from repro.measure.trace import SampleSeries
 from repro.microarch.counters import PMC, normalized_undelivered
 from repro.microarch.pipeline import CorePipeline, PipelineConfig
 from repro.mitigations.report import MitigationReport, evaluate_all
+from repro.runner import SweepRunner
 from repro.soc.config import (
     ProcessorConfig,
     cannon_lake_i3_8121u,
@@ -96,7 +110,7 @@ def fig6_voltage_steps(phase_scale_us: float = 300.0) -> Fig6Result:
     freq_end = system.pmu.freq_ghz
 
     daq = DAQCard()
-    vcc = daq.sample(lambda t: system.vcc_at(t), 0.0, horizon,
+    vcc = daq.sample(system.vcc_signal(), 0.0, horizon,
                      sample_rate_hz=2e6, name="vcc")
 
     def settled(unit_time: float) -> float:
@@ -113,7 +127,7 @@ def fig6_voltage_steps(phase_scale_us: float = 300.0) -> Fig6Result:
                       name="calculix0")
     calc_horizon = ms_to_ns(2.4)
     calc_system.run_until(calc_horizon)
-    calc_vcc = daq.sample(lambda t: calc_system.vcc_at(t), 0.0, calc_horizon,
+    calc_vcc = daq.sample(calc_system.vcc_signal(), 0.0, calc_horizon,
                           sample_rate_hz=2e6, name="vcc_calculix")
 
     return Fig6Result(
@@ -227,7 +241,7 @@ def fig7_limit_protection(phase_us: float = 400.0) -> Fig7Result:
     horizon = 3.2 * unit
     system.run_until(horizon)
     daq = DAQCard()
-    vcc = daq.sample(lambda t: system.vcc_at(t), 0.0, horizon,
+    vcc = daq.sample(system.vcc_signal(), 0.0, horizon,
                      sample_rate_hz=2e6, name="vcc_phases")
     temps = [(t, float(v)) for t, v in system.temp_trace.breakpoints()]
     temp_max = max(v for _, v in temps) if temps else 0.0
@@ -294,25 +308,41 @@ def _iteration_deltas(config: ProcessorConfig, freq: float) -> List[float]:
     return [r.elapsed_ns - steady for r in results]
 
 
-def fig8_throttling(trials: int = 25) -> Fig8Result:
-    """TP distributions on the three parts and PG wake deltas."""
+def fig8_throttling(trials: int = 25,
+                    runner: Optional[SweepRunner] = None) -> Fig8Result:
+    """TP distributions on the three parts and PG wake deltas.
+
+    Every trial is an independent simulation; ``runner`` (see
+    :class:`repro.runner.SweepRunner`) may execute them in parallel
+    and/or cache them without changing the result.
+    """
+    runner = runner if runner is not None else SweepRunner()
     rng = np.random.default_rng(8)
     parts = {
         "Haswell": haswell_i7_4770k(),
         "Coffee Lake": coffee_lake_i7_9700k(),
         "Cannon Lake": cannon_lake_i3_8121u(),
     }
-    tp: Dict[str, List[float]] = {}
+    # Draw every trial frequency up front, in the legacy loop order, so
+    # the rng stream is identical to a serial per-part run.
+    labels: List[str] = []
+    tasks: List[Dict] = []
     for name, config in parts.items():
-        samples = []
         for trial in range(trials):
             freq = float(rng.uniform(2.9, 3.1))
             freq = min(max(freq, config.min_freq_ghz), config.max_turbo_ghz)
-            samples.append(_tp_sample(config, freq, seed=trial + 1))
-        tp[name] = samples
+            labels.append(name)
+            tasks.append(dict(config=config, freq=freq, seed=trial + 1))
+    tp: Dict[str, List[float]] = {name: [] for name in parts}
+    for name, sample in zip(labels, runner.map(_tp_sample, tasks)):
+        tp[name].append(sample)
+    delta_results = runner.map(_iteration_deltas, [
+        dict(config=coffee_lake_i7_9700k(), freq=3.0),
+        dict(config=haswell_i7_4770k(), freq=3.0),
+    ])
     deltas = {
-        "Coffee Lake": _iteration_deltas(coffee_lake_i7_9700k(), 3.0),
-        "Haswell": _iteration_deltas(haswell_i7_4770k(), 3.0),
+        "Coffee Lake": delta_results[0],
+        "Haswell": delta_results[1],
     }
     return Fig8Result(tp_us_by_part=tp, iteration_deltas_ns=deltas)
 
@@ -346,7 +376,7 @@ def fig9_timeline() -> Fig9Result:
     _run_loop_program(system_a, system_a.thread_on(0),
                       Loop(IClass.HEAVY_256, 60), us_to_ns(10.0), sink_a)
     system_a.run_until(us_to_ns(250.0))
-    vcc_a = daq.sample(lambda t: system_a.vcc_at(t), 0.0, us_to_ns(80.0),
+    vcc_a = daq.sample(system_a.vcc_signal(), 0.0, us_to_ns(80.0),
                        sample_rate_hz=3.5e6, name="vcc_didt")
     throttle_a = [(t, int(v)) for t, v in system_a.throttle_traces[0].breakpoints()]
 
@@ -357,7 +387,7 @@ def fig9_timeline() -> Fig9Result:
         _run_loop_program(system_c, system_c.thread_on(core),
                           Loop(IClass.HEAVY_256, 60), us_to_ns(10.0), sink_c)
     system_c.run_until(us_to_ns(300.0))
-    vcc_c = daq.sample(lambda t: system_c.vcc_at(t), 0.0, us_to_ns(120.0),
+    vcc_c = daq.sample(system_c.vcc_signal(), 0.0, us_to_ns(120.0),
                        sample_rate_hz=3.5e6, name="vcc_limit")
 
     return Fig9Result(
@@ -385,41 +415,65 @@ class Fig10Result:
     levels: Dict[str, str]
 
 
+def _fig10_cell(config: ProcessorConfig, freq: float, n_cores: int,
+                iclass: IClass, iterations: int) -> float:
+    """TP of ``n_cores`` cores running an ``iclass`` loop at ``freq``."""
+    system = System(config, governor_freq_ghz=freq)
+    sink: List = []
+    loop = Loop(iclass, iterations)
+    for core in range(n_cores):
+        _run_loop_program(system, system.thread_on(core), loop,
+                          us_to_ns(5.0), sink)
+    system.run_until(us_to_ns(500.0))
+    return max(ns_to_us(r.throttled_ns) for r in sink)
+
+
+def _fig10_preceded(config: ProcessorConfig, freq: float, iclass: IClass,
+                    iterations: int) -> float:
+    """AVX-512 TP when preceded by an ``iclass`` loop on the same thread."""
+    system = System(config, governor_freq_ghz=freq)
+    sink: List = []
+
+    def program() -> Generator:
+        yield system.until(us_to_ns(5.0))
+        yield system.execute(system.thread_on(0), Loop(iclass, iterations))
+        result = yield system.execute(system.thread_on(0),
+                                      Loop(IClass.HEAVY_512, iterations))
+        sink.append(result)
+        return None
+
+    system.spawn(program(), name=f"preceded_{iclass.label}")
+    system.run_until(us_to_ns(800.0))
+    return ns_to_us(sink[0].throttled_ns)
+
+
 def fig10_multilevel(freqs: Sequence[float] = (1.0, 1.2, 1.4),
                      classes: Sequence[IClass] = tuple(IClass),
-                     iterations: int = 60) -> Fig10Result:
+                     iterations: int = 60,
+                     runner: Optional[SweepRunner] = None) -> Fig10Result:
     """Cannon Lake TP vs instruction class x frequency x active cores."""
     config = cannon_lake_i3_8121u()
-    sweep: Dict[Tuple[str, float, int], float] = {}
+    runner = runner if runner is not None else SweepRunner()
+    cell_keys: List[Tuple[str, float, int]] = []
+    cell_tasks: List[Dict] = []
     for freq in freqs:
         for n_cores in (1, 2):
             for iclass in classes:
-                system = System(config, governor_freq_ghz=freq)
-                sink: List = []
-                loop = Loop(iclass, iterations)
-                for core in range(n_cores):
-                    _run_loop_program(system, system.thread_on(core), loop,
-                                      us_to_ns(5.0), sink)
-                system.run_until(us_to_ns(500.0))
-                tp = max(ns_to_us(r.throttled_ns) for r in sink)
-                sweep[(iclass.label, freq, n_cores)] = tp
+                cell_keys.append((iclass.label, freq, n_cores))
+                cell_tasks.append(dict(config=config, freq=freq,
+                                       n_cores=n_cores, iclass=iclass,
+                                       iterations=iterations))
+    sweep: Dict[Tuple[str, float, int], float] = dict(
+        zip(cell_keys, runner.map(_fig10_cell, cell_tasks)))
 
-    preceded: Dict[str, float] = {}
-    for iclass in classes:
-        system = System(config, governor_freq_ghz=freqs[-1])
-        sink: List = []
-
-        def program(iclass=iclass, system=system, sink=sink) -> Generator:
-            yield system.until(us_to_ns(5.0))
-            yield system.execute(system.thread_on(0), Loop(iclass, iterations))
-            result = yield system.execute(system.thread_on(0),
-                                          Loop(IClass.HEAVY_512, iterations))
-            sink.append(result)
-            return None
-
-        system.spawn(program(), name=f"preceded_{iclass.label}")
-        system.run_until(us_to_ns(800.0))
-        preceded[iclass.label] = ns_to_us(sink[0].throttled_ns)
+    preceded_tasks = [
+        dict(config=config, freq=freqs[-1], iclass=iclass,
+             iterations=iterations)
+        for iclass in classes
+    ]
+    preceded: Dict[str, float] = dict(
+        zip((iclass.label for iclass in classes),
+            runner.map(_fig10_preceded, preceded_tasks)))
 
     # Assign L1..L5 by ranking the distinct preceded-TP plateaus.
     ordered = sorted(preceded.items(), key=lambda kv: kv[1])
@@ -482,48 +536,64 @@ class Fig12Result:
         return self.throughput_bps[ours] / self.throughput_bps[baseline]
 
 
-def fig12_throughput(payload: bytes = b"\xa5\x3c\x96\x0f\x5a\xc3",
-                     baseline_bits: int = 12) -> Fig12Result:
-    """Run every channel and baseline on Cannon Lake systems."""
-    config = cannon_lake_i3_8121u()
-    out_bps: Dict[str, float] = {}
-    out_ber: Dict[str, float] = {}
+def _fig12_channel_run(name: str, payload: bytes) -> Tuple[float, float]:
+    """(throughput_bps, ber) of one IChannels channel on a fresh system."""
+    channel_types = {
+        "IccThreadCovert": IccThreadCovert,
+        "IccSMTcovert": IccSMTcovert,
+        "IccCoresCovert": IccCoresCovert,
+    }
+    if name not in channel_types:
+        raise ConfigError(f"unknown channel {name!r}")
+    system = System(cannon_lake_i3_8121u())
+    channel = channel_types[name](system)
+    channel.calibrate()
+    report = channel.transfer(payload)
+    return report.throughput_bps, report.ber
 
-    for name, factory in (
-        ("IccThreadCovert", lambda s: IccThreadCovert(s)),
-        ("IccSMTcovert", lambda s: IccSMTcovert(s)),
-        ("IccCoresCovert", lambda s: IccCoresCovert(s)),
-    ):
-        system = System(config)
-        channel = factory(system)
-        channel.calibrate()
-        report = channel.transfer(payload)
-        out_bps[name] = report.throughput_bps
-        out_ber[name] = report.ber
+
+def _fig12_baseline_run(name: str, bits: List[int]) -> Tuple[float, float]:
+    """(throughput_bps, ber) of one baseline channel on a fresh system."""
+    config = cannon_lake_i3_8121u()
+    if name == "NetSpectre":
+        report = NetSpectreGadget(System(config)).transfer_bits(bits)
+    elif name == "TurboCC":
+        report = TurboCC(
+            System(config, governor_freq_ghz=3.1)).transfer_bits(bits)
+    elif name == "DFScovert":
+        report = DFSCovert(
+            System(config, governor_freq_ghz=3.2)).transfer_bits(bits)
+    elif name == "POWERT":
+        report = PowerT(
+            System(config, governor_freq_ghz=2.2)).transfer_bits(bits)
+    else:
+        raise ConfigError(f"unknown baseline {name!r}")
+    return report.throughput_bps, report.ber
+
+
+def fig12_throughput(payload: bytes = b"\xa5\x3c\x96\x0f\x5a\xc3",
+                     baseline_bits: int = 12,
+                     runner: Optional[SweepRunner] = None) -> Fig12Result:
+    """Run every channel and baseline on Cannon Lake systems."""
+    runner = runner if runner is not None else SweepRunner()
+    channel_names = ["IccThreadCovert", "IccSMTcovert", "IccCoresCovert"]
+    channel_results = runner.map(
+        _fig12_channel_run,
+        [dict(name=name, payload=payload) for name in channel_names])
 
     rng = np.random.default_rng(12)
     bits = [int(b) for b in rng.integers(0, 2, baseline_bits)]
+    baseline_names = ["NetSpectre", "TurboCC", "DFScovert", "POWERT"]
+    baseline_results = runner.map(
+        _fig12_baseline_run,
+        [dict(name=name, bits=bits) for name in baseline_names])
 
-    gadget = NetSpectreGadget(System(config))
-    report = gadget.transfer_bits(bits)
-    out_bps["NetSpectre"] = report.throughput_bps
-    out_ber["NetSpectre"] = report.ber
-
-    turbo = TurboCC(System(config, governor_freq_ghz=3.1))
-    report = turbo.transfer_bits(bits)
-    out_bps["TurboCC"] = report.throughput_bps
-    out_ber["TurboCC"] = report.ber
-
-    dfs = DFSCovert(System(config, governor_freq_ghz=3.2))
-    report = dfs.transfer_bits(bits)
-    out_bps["DFScovert"] = report.throughput_bps
-    out_ber["DFScovert"] = report.ber
-
-    powert = PowerT(System(config, governor_freq_ghz=2.2))
-    report = powert.transfer_bits(bits)
-    out_bps["POWERT"] = report.throughput_bps
-    out_ber["POWERT"] = report.ber
-
+    out_bps: Dict[str, float] = {}
+    out_ber: Dict[str, float] = {}
+    for name, (bps, ber) in zip(channel_names + baseline_names,
+                                channel_results + baseline_results):
+        out_bps[name] = bps
+        out_ber[name] = ber
     return Fig12Result(throughput_bps=out_bps, ber=out_ber)
 
 
@@ -542,9 +612,8 @@ class Fig13Result:
     min_gap_cycles: float
 
 
-def fig13_level_distribution(symbols_per_level: int = 10,
-                             seed: int = 13) -> Fig13Result:
-    """IccThreadCovert level clusters under low system noise."""
+def _fig13_impl(symbols_per_level: int, seed: int) -> Fig13Result:
+    """The Figure 13 measurement proper, as one cacheable task."""
     config = cannon_lake_i3_8121u()
     system = System(config, seed=seed)
     attach_system_noise(
@@ -572,6 +641,16 @@ def fig13_level_distribution(symbols_per_level: int = 10,
         separations=separations,
         min_gap_cycles=min_gap,
     )
+
+
+def fig13_level_distribution(symbols_per_level: int = 10,
+                             seed: int = 13,
+                             runner: Optional[SweepRunner] = None
+                             ) -> Fig13Result:
+    """IccThreadCovert level clusters under low system noise."""
+    runner = runner if runner is not None else SweepRunner()
+    return runner.call(_fig13_impl,
+                       symbols_per_level=symbols_per_level, seed=seed)
 
 
 # ---------------------------------------------------------------------------
@@ -616,35 +695,8 @@ def _channel_ber_under_phi_app(phi_rate_per_s: float, payload: bytes,
     return report.ber
 
 
-def fig14_noise_sensitivity(
-        payload: bytes = b"\x5a\x0f\xc3\x3c\xa5\x69\x96\x0a",
-        event_rates: Sequence[float] = (100.0, 500.0, 1000.0, 2000.0,
-                                        5000.0, 10000.0),
-        phi_rates: Sequence[float] = (10.0, 100.0, 1000.0, 10000.0),
-        trials: int = 3,
-        seed: int = 14) -> Fig14Result:
-    """BER vs interrupt/context-switch rate and vs App-PHI rate.
-
-    Each point averages ``trials`` independent transfers; single
-    transfers are dominated by whether a burst happens to land inside a
-    decode window at all.
-    """
-    ber_events = {
-        rate: float(np.mean([
-            _channel_ber_under_noise(rate, payload, seed + int(rate) + 1000 * t)
-            for t in range(trials)
-        ]))
-        for rate in event_rates
-    }
-    ber_phis = {
-        rate: float(np.mean([
-            _channel_ber_under_phi_app(rate, payload, seed + int(rate) + 1000 * t)
-            for t in range(trials)
-        ]))
-        for rate in phi_rates
-    }
-
-    # 7-zip style neighbour: AVX2 bursts, sparse (Section 6.3).
+def _sevenzip_ber(payload: bytes, seed: int) -> float:
+    """BER beside a 7-zip-like sparse AVX2 neighbour (Section 6.3)."""
     from repro.isa.workload import sevenzip_like_trace
     from repro.soc.noise import attach_trace
 
@@ -654,11 +706,51 @@ def fig14_noise_sensitivity(
     attach_trace(system, system.thread_on(1),
                  sevenzip_like_trace(total_ms=duration_ms, seed=seed))
     channel = IccThreadCovert(system)
-    report = channel.transfer(payload)
+    return channel.transfer(payload).ber
+
+
+def fig14_noise_sensitivity(
+        payload: bytes = b"\x5a\x0f\xc3\x3c\xa5\x69\x96\x0a",
+        event_rates: Sequence[float] = (100.0, 500.0, 1000.0, 2000.0,
+                                        5000.0, 10000.0),
+        phi_rates: Sequence[float] = (10.0, 100.0, 1000.0, 10000.0),
+        trials: int = 3,
+        seed: int = 14,
+        runner: Optional[SweepRunner] = None) -> Fig14Result:
+    """BER vs interrupt/context-switch rate and vs App-PHI rate.
+
+    Each point averages ``trials`` independent transfers; single
+    transfers are dominated by whether a burst happens to land inside a
+    decode window at all.  Every transfer has a seed derived only from
+    its (rate, trial) coordinates, so sweep order — and therefore
+    parallel execution via ``runner`` — cannot change the result.
+    """
+    runner = runner if runner is not None else SweepRunner()
+    event_tasks = [
+        dict(event_rate_per_s=rate, payload=payload,
+             seed=seed + int(rate) + 1000 * t)
+        for rate in event_rates for t in range(trials)
+    ]
+    event_bers = runner.map(_channel_ber_under_noise, event_tasks)
+    ber_events = {
+        rate: float(np.mean(event_bers[i * trials:(i + 1) * trials]))
+        for i, rate in enumerate(event_rates)
+    }
+    phi_tasks = [
+        dict(phi_rate_per_s=rate, payload=payload,
+             seed=seed + int(rate) + 1000 * t)
+        for rate in phi_rates for t in range(trials)
+    ]
+    phi_bers = runner.map(_channel_ber_under_phi_app, phi_tasks)
+    ber_phis = {
+        rate: float(np.mean(phi_bers[i * trials:(i + 1) * trials]))
+        for i, rate in enumerate(phi_rates)
+    }
+    sevenzip = runner.call(_sevenzip_ber, payload=payload, seed=seed)
     return Fig14Result(
         ber_vs_event_rate=ber_events,
         ber_vs_phi_rate=ber_phis,
-        sevenzip_ber=report.ber,
+        sevenzip_ber=sevenzip,
     )
 
 
@@ -688,10 +780,11 @@ class Table2Row:
     effective_mitigations: bool
 
 
-def table2_comparison(fig12: Optional[Fig12Result] = None) -> List[Table2Row]:
+def table2_comparison(fig12: Optional[Fig12Result] = None,
+                      runner: Optional[SweepRunner] = None) -> List[Table2Row]:
     """Comparison matrix with measured bandwidths (Table 2)."""
     if fig12 is None:
-        fig12 = fig12_throughput()
+        fig12 = fig12_throughput(runner=runner)
     ichannels_bw = max(
         fig12.throughput_bps["IccThreadCovert"],
         fig12.throughput_bps["IccSMTcovert"],

@@ -7,7 +7,12 @@ Figures 6, 7 and 9.
 """
 
 from repro.measure.trace import SampleSeries, StepTrace
-from repro.measure.daq import DAQCard, DAQSpec
+from repro.measure.daq import DAQCard, DAQSpec, sample_grid
+from repro.measure.sampler import (
+    PiecewiseConstantSignal,
+    PiecewiseLinearSignal,
+    TraceSampler,
+)
 from repro.measure.railwatch import RailPhase, RailPhaseDetector, RailStep
 from repro.measure.spectral import RailSpectralDetector, SpectralVerdict
 from repro.measure.probe import (
@@ -28,6 +33,10 @@ __all__ = [
     "StepTrace",
     "DAQCard",
     "DAQSpec",
+    "sample_grid",
+    "PiecewiseConstantSignal",
+    "PiecewiseLinearSignal",
+    "TraceSampler",
     "RailPhase",
     "RailPhaseDetector",
     "RailStep",

@@ -11,13 +11,40 @@ data.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.errors import MeasurementError
+from repro.measure.sampler import SignalLike, TraceSampler
 from repro.measure.trace import SampleSeries
 from repro.units import NS_PER_S
+
+
+def sample_grid(t0_ns: float, t1_ns: float, rate_hz: float) -> np.ndarray:
+    """The exact uniform sample grid covering [t0, t1] at ``rate_hz``.
+
+    Every sample is ``t0 + k * period`` with the number of whole periods
+    chosen so the last sample never lands past ``t1`` — the naive
+    ``int(span / period) + 1`` count is off by one whenever the float
+    ratio rounds up across an integer (awkward rates over long spans).
+    """
+    if rate_hz <= 0:
+        raise MeasurementError(f"sample rate must be positive, got {rate_hz}")
+    if t1_ns <= t0_ns:
+        raise MeasurementError(f"empty sampling window [{t0_ns}, {t1_ns}]")
+    period_ns = NS_PER_S / rate_hz
+    span = t1_ns - t0_ns
+    n_periods = int(span / period_ns)
+    # Repair the float division against the exact (float-multiply) grid.
+    while n_periods > 0 and n_periods * period_ns > span:
+        n_periods -= 1
+    while (n_periods + 1) * period_ns <= span:
+        n_periods += 1
+    times = t0_ns + np.arange(n_periods + 1) * period_ns
+    if times[-1] > t1_ns:  # t0 + k*period may round up half an ulp past t1
+        times[-1] = t1_ns
+    return times
 
 
 @dataclass(frozen=True)
@@ -49,36 +76,36 @@ class DAQSpec:
 
 
 class DAQCard:
-    """Samples signal callables over a simulation time span."""
+    """Samples signal callables (or signal sources) over a time span."""
 
     def __init__(self, spec: DAQSpec = DAQSpec(), seed: int = 6376) -> None:
         self.spec = spec
         self._rng = np.random.default_rng(seed)
+        self.sampler = TraceSampler()
 
-    def sample(self, signal: Callable[[float], float], t0_ns: float,
+    def sample(self, signal: SignalLike, t0_ns: float,
                t1_ns: float, sample_rate_hz: Optional[float] = None,
                name: str = "channel") -> SampleSeries:
-        """Sample ``signal(t_ns)`` uniformly over [t0, t1].
+        """Sample ``signal`` uniformly over [t0, t1].
 
         ``sample_rate_hz`` defaults to the instrument maximum and may not
-        exceed it.
+        exceed it.  ``signal`` is either a scalar callable (sampled one
+        grid point at a time — the documented fallback) or a signal
+        source with a vectorized ``sample(times)`` method such as
+        :meth:`repro.soc.system.System.vcc_signal`, which evaluates the
+        whole grid in one call; the two paths agree to float rounding.
         """
         rate = sample_rate_hz if sample_rate_hz is not None else self.spec.max_sample_rate_hz
-        if rate <= 0:
-            raise MeasurementError(f"sample rate must be positive, got {rate}")
         if rate > self.spec.max_sample_rate_hz + 1e-9:
             raise MeasurementError(
                 f"sample rate {rate} Hz exceeds instrument maximum "
                 f"{self.spec.max_sample_rate_hz} Hz"
             )
-        if t1_ns <= t0_ns:
-            raise MeasurementError(f"empty sampling window [{t0_ns}, {t1_ns}]")
-        period_ns = NS_PER_S / rate
-        n_samples = int((t1_ns - t0_ns) / period_ns) + 1
-        times = t0_ns + np.arange(n_samples) * period_ns
-        values = np.array([signal(float(t)) for t in times], dtype=float)
+        times = sample_grid(t0_ns, t1_ns, rate)
+        values = self.sampler.evaluate(signal, times)
         gain = 1.0 + (1.0 - self.spec.accuracy) * float(self._rng.normal())
         values = values * gain
         if self.spec.noise_rms > 0:
-            values = values + self._rng.normal(0.0, self.spec.noise_rms, n_samples)
+            values = values + self._rng.normal(0.0, self.spec.noise_rms,
+                                               len(times))
         return SampleSeries(times, values, name=name)

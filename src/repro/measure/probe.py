@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, List, Sequence
 
+import numpy as np
+
 from repro.errors import ConfigError, MeasurementError
 from repro.isa.instructions import IClass
 from repro.isa.workload import Loop
@@ -111,10 +113,16 @@ class ThrottleDetector:
         return self.threshold_factor * self.expected_tsc
 
     def throttled_mask(self, durations: Sequence[float]) -> List[bool]:
-        """Per-iteration throttled/unthrottled classification."""
-        if not durations:
+        """Per-iteration throttled/unthrottled classification.
+
+        One vectorized comparison over the whole run instead of a
+        per-iteration Python loop (characterisation sweeps classify
+        tens of thousands of iterations).
+        """
+        if len(durations) == 0:
             raise MeasurementError("no iteration durations to classify")
-        return [d > self.threshold_tsc for d in durations]
+        mask = np.asarray(durations, dtype=float) > self.threshold_tsc
+        return mask.tolist()
 
     def throttling_period_tsc(self, durations: Sequence[float]) -> float:
         """Throttling period in TSC cycles.
@@ -124,16 +132,18 @@ class ThrottleDetector:
         throttle injected, which is exactly the quantity the paper's
         multi-level decoding thresholds are defined over.
         """
-        mask = self.throttled_mask(durations)
-        return sum(
-            d - self.expected_tsc
-            for d, throttled in zip(durations, mask)
-            if throttled
-        )
+        if len(durations) == 0:
+            raise MeasurementError("no iteration durations to classify")
+        values = np.asarray(durations, dtype=float)
+        excess = values[values > self.threshold_tsc] - self.expected_tsc
+        return float(np.sum(excess))
 
     def throttled_count(self, durations: Sequence[float]) -> int:
         """Number of throttled iterations."""
-        return sum(self.throttled_mask(durations))
+        if len(durations) == 0:
+            raise MeasurementError("no iteration durations to classify")
+        values = np.asarray(durations, dtype=float)
+        return int(np.count_nonzero(values > self.threshold_tsc))
 
 
 def expected_iteration_tsc(iclass: IClass, block_instructions: int,

@@ -18,6 +18,7 @@ from typing import Generic, List, Sequence, Tuple, TypeVar
 import numpy as np
 
 from repro.errors import MeasurementError
+from repro.measure.sampler import PiecewiseConstantSignal
 
 T = TypeVar("T")
 
@@ -55,6 +56,32 @@ class StepTrace(Generic[T]):
         if idx < 0:
             return default
         return self._values[idx]
+
+    def values_at(self, times_ns: np.ndarray, default: float = 0.0) -> np.ndarray:
+        """Vectorized :meth:`value_at` for numeric traces.
+
+        One ``np.searchsorted`` over the whole grid instead of one
+        binary search per sample; same right-continuous semantics.
+        """
+        return self.signal(default=default).sample(times_ns)
+
+    def signal(self, default: float = 0.0) -> "PiecewiseConstantSignal":
+        """A vectorizable signal-source view of a numeric step trace.
+
+        The returned object snapshots the current breakpoints; records
+        made afterwards are not reflected.  ``default`` is the value
+        reported before the first breakpoint.
+        """
+        if not self._times:
+            return PiecewiseConstantSignal(
+                np.asarray([0.0]), np.asarray([default], dtype=float),
+                initial=default, name=self.name,
+            )
+        return PiecewiseConstantSignal(
+            np.asarray(self._times, dtype=float),
+            np.asarray(self._values, dtype=float),
+            initial=default, name=self.name,
+        )
 
     def breakpoints(self) -> List[Tuple[float, T]]:
         """All (time, value) breakpoints in order."""

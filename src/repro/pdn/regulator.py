@@ -20,10 +20,13 @@ simulated NI-DAQ (:mod:`repro.measure.daq`) can sample the rail.
 
 from __future__ import annotations
 
+import bisect
 import enum
 import math
 from dataclasses import dataclass, field
 from typing import List, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigError, SimulationError
 from repro.units import mv_to_v
@@ -153,13 +156,18 @@ class VoltageRegulator:
     v_initial: float
     name: str = "vr"
     _segments: List[_Segment] = field(default_factory=list)
+    _starts: List[float] = field(default_factory=list)
     _busy_until: float = 0.0
     _last_command_ns: float = 0.0
 
     def __post_init__(self) -> None:
         if self.v_initial <= 0:
             raise ConfigError(f"initial voltage must be positive, got {self.v_initial}")
-        self._segments.append(_Segment(0.0, 0.0, self.v_initial, self.v_initial))
+        self._append_segment(_Segment(0.0, 0.0, self.v_initial, self.v_initial))
+
+    def _append_segment(self, segment: _Segment) -> None:
+        self._segments.append(segment)
+        self._starts.append(segment.t_start)
 
     # -- queries -----------------------------------------------------------
 
@@ -173,15 +181,18 @@ class VoltageRegulator:
         return now_ns < self._busy_until
 
     def voltage_at(self, t_ns: float) -> float:
-        """Output voltage at time ``t_ns`` (piecewise-linear history)."""
+        """Output voltage at time ``t_ns`` (piecewise-linear history).
+
+        Binary search over segment start times: the segment in force is
+        the last one starting at or before ``t_ns`` (ties go to the most
+        recently appended segment, as a reversed linear scan would).
+        """
         if not self._segments:
             raise SimulationError("regulator has no history")
-        # Binary search over segment starts; histories are short enough
-        # that a linear scan from the back is also fine and simpler.
-        for segment in reversed(self._segments):
-            if t_ns >= segment.t_start:
-                return segment.voltage_at(t_ns)
-        return self._segments[0].v_start
+        idx = bisect.bisect_right(self._starts, t_ns) - 1
+        if idx < 0:
+            return self._segments[0].v_start
+        return self._segments[idx].voltage_at(t_ns)
 
     def settled_voltage(self) -> float:
         """The target of the most recent command (the eventual voltage)."""
@@ -216,8 +227,8 @@ class VoltageRegulator:
         slew_ns = abs(target - v_now) / mv_to_v(self.spec.slew_mv_per_us) * 1_000.0
         start = now_ns + latency
         end = start + slew_ns
-        self._segments.append(_Segment(now_ns, start, v_now, v_now))
-        self._segments.append(_Segment(start, end, v_now, target))
+        self._append_segment(_Segment(now_ns, start, v_now, v_now))
+        self._append_segment(_Segment(start, end, v_now, target))
         self._busy_until = end
         return end
 
@@ -234,6 +245,7 @@ class VoltageRegulator:
             )
         level = min(self.spec.quantize_vid(vcc), self.spec.vcc_max)
         self._segments = [_Segment(0.0, 0.0, level, level)]
+        self._starts = [0.0]
         self._busy_until = 0.0
 
     def history(self) -> List[Tuple[float, float]]:
@@ -243,3 +255,23 @@ class VoltageRegulator:
             points.append((segment.t_start, segment.v_start))
             points.append((segment.t_end, segment.v_end))
         return points
+
+    def breakpoints(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Deduplicated (times, voltages) arrays of the rail history.
+
+        The export contract of :mod:`repro.measure.sampler`: times are
+        non-decreasing, consecutive duplicate points are dropped, and
+        linear interpolation between the points (clamped outside the
+        span) reproduces :meth:`voltage_at` exactly — the rail output is
+        continuous, so no jump encoding is needed.
+        """
+        times: List[float] = []
+        volts: List[float] = []
+        for segment in self._segments:
+            for t, v in ((segment.t_start, segment.v_start),
+                         (segment.t_end, segment.v_end)):
+                if times and t == times[-1] and v == volts[-1]:
+                    continue
+                times.append(t)
+                volts.append(v)
+        return np.asarray(times, dtype=float), np.asarray(volts, dtype=float)

@@ -1,0 +1,213 @@
+"""Content-addressed on-disk cache for experiment results.
+
+A cache entry is addressed by a SHA-256 over three things:
+
+* the **code version** — a digest of every ``*.py`` file in the
+  installed ``repro`` package, so any source change invalidates every
+  entry (no stale results after editing the simulator);
+* the **task identity** — the function's module and qualified name;
+* the **canonicalised parameters** — dataclasses (``ProcessorConfig``
+  and friends), enums, bytes, numpy scalars and nested containers are
+  reduced to a stable JSON form, so logically equal parameter sets hash
+  equally regardless of dict ordering, and any config change is a miss.
+
+Entries are pickled results under ``<root>/<key[:2]>/<key>.pkl``.  The
+root defaults to ``$REPRO_CACHE_DIR`` or ``.repro-cache`` in the current
+working directory.  Eviction is explicit: :meth:`ResultCache.clear`
+drops everything, :meth:`ResultCache.evict` trims to a budget by age.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the current working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of the installed ``repro`` sources (cached per process).
+
+    Hashes every ``*.py`` under the package root in sorted order, so the
+    same sources always produce the same version and any edit produces a
+    new one — the cache's whole-package invalidation lever.
+    """
+    global _code_version
+    if _code_version is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _code_version = digest.hexdigest()[:16]
+    return _code_version
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a stable, JSON-serialisable form."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return float(obj)
+    if isinstance(obj, bytes):
+        return {"__bytes__": obj.hex()}
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": f"{type(obj).__module__}.{type(obj).__qualname__}",
+                "name": obj.name}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__":
+                f"{type(obj).__module__}.{type(obj).__qualname__}",
+            "fields": {
+                f.name: _canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, Mapping):
+        items = [[_canonical(k), _canonical(v)] for k, v in obj.items()]
+        items.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+        return {"__mapping__": items}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        members = [_canonical(v) for v in obj]
+        members.sort(key=lambda v: json.dumps(v, sort_keys=True))
+        return {"__set__": members}
+    if hasattr(obj, "item") and callable(obj.item):  # numpy scalars
+        return _canonical(obj.item())
+    if callable(obj):
+        return {"__callable__":
+                f"{getattr(obj, '__module__', '?')}."
+                f"{getattr(obj, '__qualname__', repr(obj))}"}
+    # Stable-enough catch-all; anything routinely swept should be one of
+    # the structured cases above.
+    return {"__repr__": repr(obj)}
+
+
+def task_key(fn: Callable[..., Any], kwargs: Mapping[str, Any],
+             version: Optional[str] = None) -> str:
+    """The content address of one task: code + function + parameters."""
+    payload = {
+        "code": version if version is not None else code_version(),
+        "fn": f"{fn.__module__}.{fn.__qualname__}",
+        "params": _canonical(dict(kwargs)),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ResultCache:
+    """Pickled experiment results, content-addressed on disk.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; defaults to ``$REPRO_CACHE_DIR`` or
+        ``.repro-cache``.  Created lazily on the first store.
+    version:
+        Override the code-version component of every key (tests use
+        this to simulate source changes without editing files).
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 version: Optional[str] = None) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.version = version
+        self.stats = CacheStats()
+
+    def key_for(self, fn: Callable[..., Any],
+                kwargs: Mapping[str, Any]) -> str:
+        """The content address of ``fn(**kwargs)`` at this code version."""
+        return task_key(fn, kwargs, version=self.version)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """(hit, value) for ``key``; corrupt entries count as misses."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError):
+            self.stats.misses += 1
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (atomic rename, last writer wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def evict(self, max_entries: int) -> int:
+        """Trim to ``max_entries`` by dropping the oldest entries first."""
+        if max_entries < 0:
+            raise ConfigError(f"max_entries must be >= 0, got {max_entries}")
+        entries = sorted(self.root.glob("*/*.pkl"),
+                         key=lambda p: p.stat().st_mtime)
+        removed = 0
+        for path in entries[:max(0, len(entries) - max_entries)]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,113 @@
+"""Parallel experiment executor with optional result caching.
+
+A *task* is a module-level function plus a kwargs dict, both picklable —
+exactly the shape of the per-trial helpers in
+:mod:`repro.analysis.experiments` (every trial builds its own
+:class:`~repro.soc.system.System` from a :class:`ProcessorConfig` and a
+seed, so tasks share no state and any execution order gives identical
+results).  :meth:`SweepRunner.map` preserves input order in its output,
+which makes ``jobs=1`` and ``jobs=N`` bit-identical by construction.
+
+With a :class:`~repro.runner.cache.ResultCache` attached, each task is
+looked up by content address first; only misses are executed (in
+parallel if requested) and stored back, so a warm rerun of a figure
+executes nothing.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+from typing import Any, Callable, List, Mapping, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.runner.cache import ResultCache
+
+
+@dataclass
+class RunStats:
+    """What one :meth:`SweepRunner.map` call did."""
+
+    tasks: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+
+
+class SweepRunner:
+    """Executes independent experiment tasks, optionally in parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) runs every task inline in
+        this process — no pool, no pickling, the exact legacy behaviour.
+    cache:
+        Optional :class:`ResultCache`; hits skip execution entirely.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 cache: Optional[ResultCache] = None) -> None:
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        #: Stats of the most recent :meth:`map` call.
+        self.last_run = RunStats()
+        #: Cumulative stats across the runner's lifetime.
+        self.total = RunStats()
+
+    def map(self, fn: Callable[..., Any],
+            kwargs_list: Sequence[Mapping[str, Any]]) -> List[Any]:
+        """Run ``fn(**kwargs)`` for every kwargs set, in input order.
+
+        Results are returned positionally; parallel execution cannot
+        reorder them.  ``fn`` must be a module-level function and every
+        kwargs value picklable when ``jobs > 1`` (process pool) or when
+        a cache is attached (results are pickled to disk).
+        """
+        stats = RunStats(tasks=len(kwargs_list))
+        results: List[Any] = [None] * len(kwargs_list)
+        pending: List[int] = []
+        keys: List[Optional[str]] = [None] * len(kwargs_list)
+
+        if self.cache is not None:
+            for idx, kwargs in enumerate(kwargs_list):
+                key = self.cache.key_for(fn, kwargs)
+                keys[idx] = key
+                hit, value = self.cache.get(key)
+                if hit:
+                    results[idx] = value
+                    stats.cache_hits += 1
+                else:
+                    pending.append(idx)
+        else:
+            pending = list(range(len(kwargs_list)))
+
+        if pending:
+            stats.executed = len(pending)
+            if self.jobs == 1 or len(pending) == 1:
+                for idx in pending:
+                    results[idx] = fn(**kwargs_list[idx])
+            else:
+                workers = min(self.jobs, len(pending))
+                with concurrent.futures.ProcessPoolExecutor(
+                        max_workers=workers) as pool:
+                    futures = {
+                        idx: pool.submit(fn, **kwargs_list[idx])
+                        for idx in pending
+                    }
+                    for idx, future in futures.items():
+                        results[idx] = future.result()
+            if self.cache is not None:
+                for idx in pending:
+                    self.cache.put(keys[idx], results[idx])
+
+        self.last_run = stats
+        self.total.tasks += stats.tasks
+        self.total.cache_hits += stats.cache_hits
+        self.total.executed += stats.executed
+        return results
+
+    def call(self, fn: Callable[..., Any], **kwargs: Any) -> Any:
+        """Run (or cache-resolve) a single task."""
+        return self.map(fn, [kwargs])[0]

@@ -10,48 +10,62 @@ Programs (covert-channel senders/receivers, workload drivers) are written
 as Python generators that ``yield`` request objects; the
 :class:`~repro.soc.system.System` resumes them when the request completes.
 The engine itself knows nothing about programs; it only runs callbacks.
+
+Two engine-level optimisations keep cancel-heavy workloads cheap (every
+recompute of an in-flight loop cancels and reschedules its completion
+event, so hysteresis-churny covert transfers cancel far more events than
+they run):
+
+* heap entries are plain ``(time, seq, handle)`` tuples — tuple
+  comparison in C instead of dataclass ``__lt__`` dispatch per sift;
+* cancelled entries are dropped lazily at pop time as before, but when
+  they outnumber half the heap the whole heap is compacted in one
+  O(n) filter + heapify, bounding both memory and ``heappush`` cost.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
-
-@dataclass(order=True)
-class _QueueEntry:
-    time_ns: float
-    seq: int
-    handle: "EventHandle" = field(compare=False)
+#: Compaction is skipped below this heap size; the O(n) rebuild only
+#: pays for itself once the heap is big enough for sift cost to matter.
+_COMPACT_MIN_SIZE = 64
 
 
 class EventHandle:
     """A scheduled callback that can be cancelled before it fires."""
 
-    __slots__ = ("time_ns", "callback", "args", "cancelled")
+    __slots__ = ("time_ns", "callback", "args", "cancelled", "_engine")
 
     def __init__(self, time_ns: float, callback: Callable[..., Any],
-                 args: Tuple[Any, ...]) -> None:
+                 args: Tuple[Any, ...],
+                 engine: Optional["Engine"] = None) -> None:
         self.time_ns = time_ns
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._engine is not None:
+            self._engine._note_cancel()
 
 
 class Engine:
     """The event queue and simulation clock."""
 
     def __init__(self) -> None:
-        self._heap: List[_QueueEntry] = []
+        self._heap: List[Tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
+        self._cancelled = 0
         self.now: float = 0.0
         self.events_run: int = 0
 
@@ -71,25 +85,43 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at t={time_ns} before now={self.now}"
             )
-        handle = EventHandle(max(time_ns, self.now), callback, args)
-        heapq.heappush(self._heap, _QueueEntry(handle.time_ns, next(self._seq), handle))
+        handle = EventHandle(max(time_ns, self.now), callback, args, self)
+        heapq.heappush(self._heap, (handle.time_ns, next(self._seq), handle))
         return handle
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping hook called by :meth:`EventHandle.cancel`."""
+        self._cancelled += 1
+        if (len(self._heap) >= _COMPACT_MIN_SIZE
+                and self._cancelled > len(self._heap) // 2):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry in one filter + heapify pass."""
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+            self._cancelled = max(0, self._cancelled - 1)
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next pending event, or None when idle."""
-        while self._heap and self._heap[0].handle.cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time_ns if self._heap else None
+        self._drop_cancelled_head()
+        return self._heap[0][0] if self._heap else None
 
     def step(self) -> bool:
         """Run the next event; returns False when the queue is empty."""
         while self._heap:
-            entry = heapq.heappop(self._heap)
-            if entry.handle.cancelled:
+            time_ns, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                self._cancelled = max(0, self._cancelled - 1)
                 continue
-            self.now = entry.time_ns
+            self.now = time_ns
             self.events_run += 1
-            entry.handle.callback(*entry.handle.args)
+            handle.callback(*handle.args)
             return True
         return False
 

@@ -31,6 +31,7 @@ import numpy as np
 from repro.errors import ConfigError, SimulationError
 from repro.isa.instructions import IClass
 from repro.isa.workload import Loop, PhaseTrace, uniform_loop
+from repro.measure.sampler import PiecewiseConstantSignal, PiecewiseLinearSignal
 from repro.measure.trace import StepTrace
 from repro.microarch.tsc import TimestampCounter
 from repro.pdn.droop import DroopModel, DroopSpec
@@ -324,6 +325,54 @@ class System:
     def power_at(self, t_ns: float) -> float:
         """Package power at ``t_ns``."""
         return self.icc_at(t_ns) * self.vcc_at(t_ns)
+
+    # -- vectorizable signal exports (see repro.measure.sampler) ---------------
+
+    def vcc_signal(self, core: int = 0) -> PiecewiseLinearSignal:
+        """A vectorizable snapshot of the rail voltage feeding ``core``.
+
+        Equivalent to ``lambda t: self.vcc_at(t, core)`` but exposes the
+        rail's piecewise-linear breakpoints, so the simulated DAQ can
+        evaluate a whole sample grid in one ``np.interp`` call instead
+        of one history lookup per sample.  Snapshot semantics: commands
+        issued after the call are not reflected.
+        """
+        times, volts = self.pmu.rail_of(core).breakpoints()
+        return PiecewiseLinearSignal(times, volts, name=f"vcc_core{core}")
+
+    def freq_signal(self) -> PiecewiseConstantSignal:
+        """A vectorizable snapshot of the package frequency trace."""
+        return self.freq_trace.signal(default=self.pmu.freq_ghz)
+
+    def icc_signal(self) -> PiecewiseLinearSignal:
+        """A vectorizable snapshot of the package supply current.
+
+        ``icc_at`` is the product of a step trace (Cdyn), the rail
+        voltage (piecewise-linear) and another step trace (frequency),
+        so between any two breakpoints of the merged time grid it is
+        linear in ``t``.  Step discontinuities are encoded as duplicate
+        breakpoint times (left value first), which ``np.interp``
+        resolves right-continuously — matching :meth:`icc_at` exactly.
+        """
+        vcc_times, vcc_volts = self.pmu.rail_of(0).breakpoints()
+        cdyn = self.cdyn_trace.signal(default=0.0)
+        freq = self.freq_trace.signal(default=self.pmu.freq_ghz)
+        merged = np.union1d(np.union1d(vcc_times, cdyn.times_ns),
+                            freq.times_ns)
+        vcc_m = np.interp(merged, vcc_times, vcc_volts)
+        icc_right = cdyn.sample(merged) * vcc_m * freq.sample(merged)
+        icc_left = (cdyn.sample(merged, inclusive=False) * vcc_m
+                    * freq.sample(merged, inclusive=False))
+        times: List[float] = []
+        values: List[float] = []
+        for i, t in enumerate(merged):
+            if i > 0 and icc_left[i] != icc_right[i]:
+                times.append(float(t))
+                values.append(float(icc_left[i]))
+            times.append(float(t))
+            values.append(float(icc_right[i]))
+        return PiecewiseLinearSignal(np.asarray(times), np.asarray(values),
+                                     name="icc")
 
     def thread_on(self, core: int, smt_slot: int = 0) -> int:
         """Thread id of SMT slot ``smt_slot`` on ``core``."""

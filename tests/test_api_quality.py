@@ -11,7 +11,7 @@ import repro
 PACKAGES = [
     "repro", "repro.isa", "repro.pdn", "repro.pmu", "repro.microarch",
     "repro.soc", "repro.measure", "repro.core", "repro.core.baselines",
-    "repro.mitigations", "repro.analysis",
+    "repro.mitigations", "repro.analysis", "repro.runner",
 ]
 
 

@@ -1,0 +1,182 @@
+"""Sweep runner: content-addressed cache + parallel execution."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import fig8_throttling
+from repro.errors import ConfigError
+from repro.runner import ResultCache, SweepRunner, code_version, task_key
+from repro.soc.config import cannon_lake_i3_8121u, coffee_lake_i7_9700k
+
+
+def _square(x):
+    """Module-level so it pickles into pool workers."""
+    return x * x
+
+
+def _config_probe(config, scale):
+    """A task taking a ProcessorConfig, for canonicalisation tests."""
+    return config.vcc_max * scale
+
+
+class TestTaskKey:
+    def test_kwarg_order_irrelevant(self):
+        a = task_key(_config_probe,
+                     {"config": cannon_lake_i3_8121u(), "scale": 2.0})
+        b = task_key(_config_probe,
+                     {"scale": 2.0, "config": cannon_lake_i3_8121u()})
+        assert a == b
+
+    def test_equal_configs_hash_equal(self):
+        assert (task_key(_config_probe,
+                         {"config": cannon_lake_i3_8121u(), "scale": 1.0})
+                == task_key(_config_probe,
+                            {"config": cannon_lake_i3_8121u(), "scale": 1.0}))
+
+    def test_config_change_changes_key(self):
+        base = cannon_lake_i3_8121u()
+        tweaked = dataclasses.replace(base, icc_max=base.icc_max + 1.0)
+        assert (task_key(_config_probe, {"config": base, "scale": 1.0})
+                != task_key(_config_probe, {"config": tweaked, "scale": 1.0}))
+
+    def test_different_function_changes_key(self):
+        assert (task_key(_square, {"x": 2})
+                != task_key(_config_probe, {"x": 2}))
+
+    def test_version_changes_key(self):
+        kwargs = {"x": 2}
+        assert (task_key(_square, kwargs, version="aaaa")
+                != task_key(_square, kwargs, version="bbbb"))
+        assert (task_key(_square, kwargs)
+                == task_key(_square, kwargs, version=code_version()))
+
+    def test_numpy_scalars_canonicalise_to_python(self):
+        assert (task_key(_square, {"x": np.float64(2.5)})
+                == task_key(_square, {"x": 2.5}))
+        assert (task_key(_square, {"x": np.int64(3)})
+                == task_key(_square, {"x": 3}))
+
+    def test_payload_types_supported(self):
+        # bytes, tuples, sets and nested mappings must all canonicalise.
+        kwargs = {"payload": b"\xa5\x3c", "rates": (1.0, 2.0),
+                  "flags": {"b", "a"}, "nested": {"k": [1, 2]}}
+        assert task_key(_square, kwargs) == task_key(_square, dict(kwargs))
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache.key_for(_square, {"x": 4})
+        assert cache.get(key) == (False, None)
+        cache.put(key, 16)
+        assert cache.get(key) == (True, 16)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache.key_for(_square, {"x": 4})
+        cache.put(key, 16)
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        hit, _ = cache.get(key)
+        assert not hit
+
+    def test_version_isolates_entries(self, tmp_path):
+        old = ResultCache(root=tmp_path, version="v-old")
+        old.put(old.key_for(_square, {"x": 4}), 16)
+        new = ResultCache(root=tmp_path, version="v-new")
+        hit, _ = new.get(new.key_for(_square, {"x": 4}))
+        assert not hit  # a code change invalidates prior results
+
+    def test_clear_and_evict(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        keys = [cache.key_for(_square, {"x": x}) for x in range(5)]
+        for x, key in enumerate(keys):
+            cache.put(key, x)
+        assert len(cache) == 5
+        assert cache.evict(max_entries=2) == 3
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        with pytest.raises(ConfigError):
+            cache.evict(max_entries=-1)
+
+
+class TestSweepRunner:
+    def test_jobs_validated(self):
+        with pytest.raises(ConfigError):
+            SweepRunner(jobs=0)
+
+    def test_serial_map_preserves_order(self):
+        runner = SweepRunner()
+        out = runner.map(_square, [{"x": x} for x in range(10)])
+        assert out == [x * x for x in range(10)]
+        assert runner.last_run.executed == 10
+        assert runner.last_run.cache_hits == 0
+
+    def test_parallel_map_matches_serial(self):
+        tasks = [{"x": x} for x in range(9)]
+        serial = SweepRunner(jobs=1).map(_square, tasks)
+        parallel = SweepRunner(jobs=3).map(_square, tasks)
+        assert serial == parallel
+
+    def test_call_single_task(self):
+        assert SweepRunner().call(_square, x=7) == 49
+
+    def test_cache_skips_execution_on_rerun(self, tmp_path):
+        tasks = [{"x": x} for x in range(6)]
+        cold = SweepRunner(cache=ResultCache(root=tmp_path))
+        first = cold.map(_square, tasks)
+        assert cold.last_run.executed == 6
+        warm = SweepRunner(cache=ResultCache(root=tmp_path))
+        second = warm.map(_square, tasks)
+        assert warm.last_run.executed == 0
+        assert warm.last_run.cache_hits == 6
+        assert first == second
+
+    def test_parallel_with_cache(self, tmp_path):
+        tasks = [{"x": x} for x in range(8)]
+        runner = SweepRunner(jobs=4, cache=ResultCache(root=tmp_path))
+        assert runner.map(_square, tasks) == [x * x for x in range(8)]
+        rerun = SweepRunner(jobs=4, cache=ResultCache(root=tmp_path))
+        assert rerun.map(_square, tasks) == [x * x for x in range(8)]
+        assert rerun.last_run.executed == 0
+
+    def test_partial_cache_only_runs_misses(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        seeded = SweepRunner(cache=cache)
+        seeded.map(_square, [{"x": x} for x in range(3)])
+        runner = SweepRunner(cache=ResultCache(root=tmp_path))
+        out = runner.map(_square, [{"x": x} for x in range(6)])
+        assert out == [x * x for x in range(6)]
+        assert runner.last_run.cache_hits == 3
+        assert runner.last_run.executed == 3
+
+
+class TestExperimentDeterminism:
+    """Parallelism and caching must not change experiment results."""
+
+    def test_fig8_parallel_equals_serial(self):
+        serial = fig8_throttling(trials=3, runner=SweepRunner(jobs=1))
+        parallel = fig8_throttling(trials=3, runner=SweepRunner(jobs=4))
+        assert serial == parallel
+
+    def test_fig8_warm_cache_executes_nothing(self, tmp_path):
+        cold_runner = SweepRunner(cache=ResultCache(root=tmp_path))
+        cold = fig8_throttling(trials=3, runner=cold_runner)
+        assert cold_runner.total.executed > 0
+        warm_runner = SweepRunner(cache=ResultCache(root=tmp_path))
+        warm = fig8_throttling(trials=3, runner=warm_runner)
+        assert warm_runner.total.executed == 0
+        assert warm_runner.total.cache_hits == warm_runner.total.tasks
+        assert cold == warm
+
+    def test_fig8_default_runner_unchanged(self):
+        # No runner argument is the legacy serial path.
+        assert fig8_throttling(trials=2) == fig8_throttling(
+            trials=2, runner=SweepRunner())

@@ -97,6 +97,55 @@ class TestCancel:
         assert engine.peek_time() == 20.0
 
 
+class TestCompaction:
+    def test_mass_cancel_compacts_heap(self):
+        engine = Engine()
+        handles = [engine.schedule(float(i + 1), lambda: None)
+                   for i in range(200)]
+        for i, handle in enumerate(handles):
+            if i % 4 != 0:
+                handle.cancel()
+        # 150 of 200 entries cancelled: the heap must have been rebuilt
+        # rather than left to carry the dead entries until pop time.
+        assert len(engine._heap) < 100
+
+    def test_survivors_fire_in_order_after_compaction(self):
+        engine = Engine()
+        seen = []
+        handles = []
+        for i in range(200):
+            handles.append(engine.schedule(float(i + 1), seen.append, i))
+        for i, handle in enumerate(handles):
+            if i % 4 != 0:
+                handle.cancel()
+        engine.run()
+        assert seen == [i for i in range(200) if i % 4 == 0]
+        assert engine.events_run == 50
+
+    def test_cancel_after_fire_is_harmless(self):
+        engine = Engine()
+        seen = []
+        handle = engine.schedule(1.0, seen.append, "x")
+        engine.run()
+        handle.cancel()
+        handle.cancel()
+        assert seen == ["x"]
+        engine.schedule(1.0, seen.append, "y")
+        engine.run()
+        assert seen == ["x", "y"]
+
+    def test_small_heaps_skip_compaction(self):
+        engine = Engine()
+        handles = [engine.schedule(float(i + 1), lambda: None)
+                   for i in range(10)]
+        for handle in handles:
+            handle.cancel()
+        # Below the compaction threshold the heap is left to drain lazily.
+        assert len(engine._heap) == 10
+        engine.run()
+        assert engine.events_run == 0
+
+
 class TestRunUntil:
     def test_run_until_stops_at_horizon(self):
         engine = Engine()
