@@ -19,6 +19,8 @@ from conftest import banner
 
 from repro.core import IccThreadCovert
 from repro.measure import TraceSampler, sample_grid
+from repro.obs import NullTracer, install
+from repro.obs.tracer import current as _obs
 from repro.soc.config import cannon_lake_i3_8121u
 from repro.soc.system import System
 
@@ -27,6 +29,10 @@ MIN_SPEEDUP = 10.0
 
 #: Both sampling paths must agree to this tolerance (volts).
 MAX_ABS_DIFF = 1e-12
+
+#: Ceiling on the cost of disabled tracing relative to an untraced
+#: transfer (ISSUE: < 5%).
+MAX_DISABLED_OVERHEAD = 0.05
 
 
 def _traced_system() -> System:
@@ -86,3 +92,71 @@ def test_bench_trace_sampling(benchmark):
     assert len(times) > 10_000
     assert max_diff <= MAX_ABS_DIFF
     assert speedup >= MIN_SPEEDUP
+
+
+class _CountingTracer(NullTracer):
+    """A disabled tracer whose ``enabled`` check counts its callers.
+
+    Instrumentation sites on the disabled path do exactly one thing:
+    read the current tracer and test ``enabled``.  Making ``enabled`` a
+    counting property gives an *exact* census of those site visits for
+    a workload, without altering what the sites execute afterwards.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.touches = 0
+
+    @property
+    def enabled(self):
+        self.touches += 1
+        return False
+
+
+def _transfer_workload():
+    system = System(cannon_lake_i3_8121u())
+    IccThreadCovert(system).transfer(b"\xa5\x3c\x96")
+
+
+def test_bench_disabled_tracing_overhead(benchmark):
+    """Tracing that is off must cost < 5% of a covert transfer.
+
+    The disabled path is ``current()`` plus one attribute check per
+    instrumented site; this bounds (exact site visits for a full
+    transfer) x (measured per-visit cost) against the transfer's own
+    wall time.
+    """
+    counting = _CountingTracer()
+    previous = install(counting)
+    try:
+        _transfer_workload()
+    finally:
+        install(previous)
+    touches = counting.touches
+
+    # Per-visit cost of the real disabled path, measured tightly.
+    probes = 100_000
+    start = time.perf_counter()
+    for _ in range(probes):
+        tracer = _obs()
+        if tracer.enabled:  # pragma: no cover - always False here
+            raise AssertionError
+    per_touch = (time.perf_counter() - start) / probes
+
+    t_workload = _best_of(_transfer_workload, repeats=3)
+    overhead = (touches * per_touch) / t_workload
+
+    benchmark.pedantic(_transfer_workload, rounds=3, iterations=1)
+
+    banner("Disabled-tracing overhead: guarded sites vs untraced transfer")
+    print(f"site visits:   {touches:,} per 3-byte transfer")
+    print(f"per-visit:     {per_touch * 1e9:8.1f} ns")
+    print(f"transfer:      {t_workload * 1e3:8.2f} ms")
+    print(f"overhead:      {overhead * 100:8.3f}% "
+          f"(ceiling: {MAX_DISABLED_OVERHEAD * 100:.0f}%)")
+
+    benchmark.extra_info["site_visits"] = touches
+    benchmark.extra_info["overhead_pct"] = round(overhead * 100, 3)
+
+    assert touches > 0
+    assert overhead < MAX_DISABLED_OVERHEAD

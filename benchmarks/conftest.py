@@ -14,7 +14,38 @@ from __future__ import annotations
 
 import os
 
+import pytest
+
+from repro.obs import Tracer, install, write_chrome_trace, write_metrics_json
 from repro.runner import ResultCache, SweepRunner
+
+
+@pytest.fixture(scope="session", autouse=True)
+def obs_from_env():
+    """Trace/meter a whole benchmark run from the environment.
+
+    ``REPRO_TRACE=trace.json`` records every instrumented span of the
+    session and writes a Chrome trace there at teardown;
+    ``REPRO_METRICS=metrics.json`` writes the counter/histogram
+    snapshot.  Either alone works (metrics-only runs skip the event
+    list).  Unset, this fixture is inert and the no-op tracer stays
+    installed.
+    """
+    trace_path = os.environ.get("REPRO_TRACE")
+    metrics_path = os.environ.get("REPRO_METRICS")
+    if not trace_path and not metrics_path:
+        yield None
+        return
+    tracer = Tracer(events=trace_path is not None)
+    previous = install(tracer)
+    try:
+        yield tracer
+    finally:
+        install(previous)
+        if trace_path:
+            write_chrome_trace(tracer, trace_path)
+        if metrics_path:
+            write_metrics_json(tracer, metrics_path)
 
 
 def runner_from_env() -> SweepRunner:

@@ -16,6 +16,7 @@ from typing import Optional, Sequence, Tuple
 
 from repro import System, cannon_lake_i3_8121u
 from repro.core import IccCoresCovert, IccSMTcovert, IccThreadCovert
+from repro.obs import Tracer, tracing, write_chrome_trace, write_metrics_json
 from repro.runner import ResultCache, SweepRunner
 
 _DEMO_CHANNELS = {
@@ -44,9 +45,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--cache-dir", default=None, metavar="PATH",
         help="cache transfer results under PATH (default: no cache)")
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome trace (chrome://tracing) of the demo to PATH")
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write counters and latency histograms as JSON to PATH")
     args = parser.parse_args(list(argv) if argv is not None else [])
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if (args.trace or args.metrics) and args.jobs > 1:
+        # Spans are recorded in-process; pool workers would trace into
+        # their own (discarded) tracers.  Keep the observed run honest.
+        print("note: --trace/--metrics force --jobs 1 so every span "
+              "lands in one trace")
+        args.jobs = 1
 
     cache = ResultCache(root=args.cache_dir) if args.cache_dir else None
     runner = SweepRunner(jobs=args.jobs, cache=cache)
@@ -60,9 +73,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ("across SMT threads   ", "IccSMTcovert"),
         ("across physical cores", "IccCoresCovert"),
     )
-    results = runner.map(_demo_transfer, [
-        dict(channel_name=name, message=message) for _, name in labels
-    ])
+    tracer: Optional[Tracer] = None
+    if args.trace or args.metrics:
+        tracer = Tracer(events=args.trace is not None)
+    if tracer is not None:
+        with tracing(tracer):
+            results = runner.map(_demo_transfer, [
+                dict(channel_name=name, message=message)
+                for _, name in labels
+            ])
+    else:
+        results = runner.map(_demo_transfer, [
+            dict(channel_name=name, message=message) for _, name in labels
+        ])
     failures = 0
     for (label, _), (received, ber, bps) in zip(labels, results):
         ok = received == message
@@ -73,6 +96,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if runner.total.cache_hits:
         print(f"\n({runner.total.cache_hits} of {runner.total.tasks} "
               f"transfers served from cache)")
+    if tracer is not None:
+        if args.trace:
+            trace = write_chrome_trace(tracer, args.trace)
+            print(f"\ntrace: {args.trace} "
+                  f"({len(trace['traceEvents'])} events; load in "
+                  f"chrome://tracing or https://ui.perfetto.dev)")
+        if args.metrics:
+            write_metrics_json(tracer, args.metrics)
+            print(f"metrics: {args.metrics}")
     print("\nSee `python -m repro.analysis.report` for every regenerated "
           "table and figure.")
     return 1 if failures else 0

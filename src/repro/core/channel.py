@@ -27,6 +27,7 @@ from repro.core.levels import (
 )
 from repro.core.sync import JitteredSchedule, SlotSchedule
 from repro.errors import ProtocolError
+from repro.obs.tracer import current as _obs
 from repro.isa.instructions import IClass
 from repro.isa.workload import Loop
 from repro.soc.system import System
@@ -114,10 +115,17 @@ class TransferReport:
 
     @property
     def bit_errors(self) -> int:
-        """Wrong bits between sent and received symbol streams."""
+        """Wrong bits between sent and received symbol streams.
+
+        When the streams differ in length (a receiver that lost slots),
+        every missing or surplus symbol counts as fully errored — a
+        silently dropped tail must not *lower* the reported BER.
+        """
         wrong = 0
         for a, b in zip(self.symbols_sent, self.symbols_received):
             wrong += bin((a ^ b) & 0b11).count("1")
+        wrong += SYMBOL_BITS * abs(len(self.symbols_sent)
+                                   - len(self.symbols_received))
         return wrong
 
     @property
@@ -307,6 +315,26 @@ class CovertChannel(abc.ABC):
         end = schedule.slot_start(len(symbols)) + self.slot_ns
         self.system.run_until(end)
         missing = [i for i, m in enumerate(measurements) if m is None]
+        tracer = _obs()
+        if tracer.enabled:
+            readings = tracer.metrics.histogram("channel.slot_measurement_tsc")
+            for i, symbol in enumerate(symbols):
+                args = {"slot": i, "symbol": symbol}
+                if measurements[i] is not None:
+                    args["tsc"] = float(measurements[i])  # type: ignore[arg-type]
+                    readings.observe(float(measurements[i]))  # type: ignore[arg-type]
+                tracer.complete(f"slot s{symbol}", "channel",
+                                schedule.slot_start(i), self.slot_ns,
+                                track="channel.slots", args=args)
+            if missing:
+                tracer.metrics.counter(
+                    "channel.missing_measurements").inc(len(missing))
+                for i in missing:
+                    tracer.instant(
+                        "channel.missing_measurement", "channel",
+                        schedule.slot_start(i), track="channel.slots",
+                        args={"slot": i, "symbol": symbols[i]},
+                    )
         if missing:
             raise ProtocolError(
                 f"receiver produced no measurement for slots {missing}; "
@@ -321,11 +349,21 @@ class CovertChannel(abc.ABC):
         training_symbols: List[int] = []
         for _ in range(self.config.training_rounds):
             training_symbols.extend(sorted(self.symbol_classes))
+        start = self.system.now
         readings = self.run_symbols(training_symbols)
         self._calibrator = Calibrator(
             list(zip(training_symbols, readings)),
             min_gap=self.config.min_level_gap_tsc,
         )
+        tracer = _obs()
+        if tracer.enabled:
+            tracer.metrics.counter("channel.calibrations").inc()
+            tracer.complete(
+                "channel.calibrate", "channel", start, self.system.now - start,
+                track="channel",
+                args={"rounds": self.config.training_rounds,
+                      "training_symbols": len(training_symbols)},
+            )
         return self._calibrator
 
     @property
@@ -348,7 +386,12 @@ class CovertChannel(abc.ABC):
         start = self.system.now
         readings = self.run_symbols(symbols)
         decoded = self._calibrator.decode_all(readings)
-        return TransferReport(
+        if len(decoded) != len(symbols):
+            raise ProtocolError(
+                f"receiver decoded {len(decoded)} symbols for "
+                f"{len(symbols)} sent; the slot streams diverged"
+            )
+        report = TransferReport(
             sent=payload,
             received=symbols_to_bytes(decoded),
             symbols_sent=symbols,
@@ -359,6 +402,20 @@ class CovertChannel(abc.ABC):
             location=self.location,
             retraining=retrained,
         )
+        tracer = _obs()
+        if tracer.enabled:
+            tracer.metrics.counter("channel.transfers").inc()
+            tracer.metrics.histogram("channel.transfer_ber").observe(report.ber)
+            tracer.complete(
+                "channel.transfer", "channel", start, report.elapsed_ns,
+                track="channel",
+                args={"bytes": len(payload), "bits": report.bits,
+                      "bit_errors": report.bit_errors,
+                      "ber": round(report.ber, 6),
+                      "location": self.location.name,
+                      "retrained": retrained},
+            )
+        return report
 
     def symbol_class(self, symbol: int) -> IClass:
         """PHI class for ``symbol`` under this part's ladder."""

@@ -27,6 +27,7 @@ from repro.core.channel import CovertChannel
 from repro.core.ecc import CRC8, Hamming74, RepetitionCode, deinterleave, interleave
 from repro.core.encoding import bits_to_bytes, bytes_to_bits
 from repro.errors import ProtocolError
+from repro.obs.tracer import current as _obs
 from repro.units import bits_per_second
 
 
@@ -243,14 +244,44 @@ class CovertSession:
                 if self.config.wait_for_quiet:
                     log.quiet_senses += self._await_quiet()
                 log.attempts += 1
+                attempt_start = self.channel.system.now
                 report = self.channel.transfer(wire)
                 log.raw_ber_per_attempt.append(report.ber)
                 recovered = self._unprotect(report.received, len(framed))
                 parsed = self._parse_frame(recovered)
-                if parsed is not None and parsed[0] == (sequence & 0xFF):
+                accepted = parsed is not None and parsed[0] == (sequence & 0xFF)
+                tracer = _obs()
+                if tracer.enabled:
+                    tracer.metrics.counter("session.attempts").inc()
+                    if not accepted:
+                        tracer.metrics.counter("session.crc_failures").inc()
+                    tracer.complete(
+                        "session.frame_attempt", "session", attempt_start,
+                        self.channel.system.now - attempt_start,
+                        track="session",
+                        args={"sequence": sequence, "attempt": log.attempts,
+                              "accepted": accepted,
+                              "raw_ber": round(report.ber, 6)},
+                    )
+                if accepted:
+                    assert parsed is not None
                     received_chunk = parsed[1]
                     log.delivered = True
                     break
+            tracer = _obs()
+            if tracer.enabled:
+                tracer.metrics.counter("session.frames").inc()
+                tracer.metrics.counter(
+                    "session.retransmissions").inc(log.attempts - 1)
+                tracer.metrics.histogram(
+                    "session.attempts_per_frame").observe(log.attempts)
+                if not log.delivered:
+                    tracer.metrics.counter("session.frames_failed").inc()
+                    tracer.instant(
+                        "session.retry_exhausted", "session",
+                        self.channel.system.now, track="session",
+                        args={"sequence": sequence, "attempts": log.attempts},
+                    )
             logs.append(log)
             delivered_chunks.append(received_chunk)
         delivered: Optional[bytes]

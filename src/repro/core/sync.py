@@ -19,6 +19,17 @@ import numpy as np
 
 from repro.errors import ProtocolError
 
+#: Relative boundary tolerance of :meth:`SlotSchedule.slot_index_at`, in
+#: units of float64 rounding.  ``(t - epoch) / slot`` accumulates a few
+#: ulps of error from the subtraction, the division and the caller's own
+#: ``epoch + k * slot`` arithmetic, so a query *exactly on* a slot
+#: boundary can land fractionally below it (``0.3 / 0.1 == 2.999…``).
+#: Times within this tolerance of the next slot's start are assigned to
+#: that slot.  The tolerance scales with ``max(index, epoch/slot)`` —
+#: the magnitudes whose ulps dominate the error — and stays far below
+#: any physically meaningful fraction of a slot.
+_BOUNDARY_EPS = 4e-15
+
 
 @dataclass(frozen=True)
 class SlotSchedule:
@@ -40,10 +51,21 @@ class SlotSchedule:
         return self.epoch_ns + index * self.slot_ns
 
     def slot_index_at(self, t_ns: float) -> int:
-        """Index of the slot containing time ``t_ns`` (-1 before epoch)."""
+        """Index of the slot containing time ``t_ns`` (-1 before epoch).
+
+        Boundary rule: a time exactly at (or within a few ulps below) a
+        slot's start belongs to *that* slot, never the one before it —
+        without the tolerance, float round-off in the division makes
+        :meth:`next_slot_after` return a slot that already started.
+        """
         if t_ns < self.epoch_ns:
             return -1
-        return int((t_ns - self.epoch_ns) / self.slot_ns)
+        raw = (t_ns - self.epoch_ns) / self.slot_ns
+        index = int(raw)
+        tolerance = _BOUNDARY_EPS * max(1.0, raw, self.epoch_ns / self.slot_ns)
+        if (index + 1) - raw <= tolerance:
+            index += 1
+        return index
 
     def next_slot_after(self, t_ns: float) -> int:
         """Index of the first slot starting strictly after ``t_ns``."""

@@ -1,0 +1,147 @@
+"""Exporters: Chrome trace-event JSON and flat metrics JSON.
+
+The trace exporter emits the `Trace Event Format`_ consumed by
+``chrome://tracing`` and Perfetto: one *complete* (``"X"``) event per
+span, one *instant* (``"i"``) event per point event, plus metadata
+events naming the processes and threads.  Simulation-side events land
+under the ``simulation`` process with the engine clock (ns) mapped to
+trace microseconds; host-side events (runner tasks) land under the
+``host`` process on the wall clock, so the two timelines never get
+conflated.
+
+The metrics exporter writes one flat JSON object with every counter and
+histogram summary — easy to diff between two runs, which is the whole
+point: a perf regression or protocol failure becomes a trace/metrics
+diff instead of a print-statement hunt.
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from repro.errors import ConfigError
+from repro.obs.tracer import DOMAIN_HOST, NullTracer
+
+#: Trace process ids per clock domain.
+_PID_SIM = 1
+_PID_HOST = 2
+
+#: Every trace event must carry these keys to load in chrome://tracing.
+_REQUIRED_EVENT_KEYS = frozenset({"name", "cat", "ph", "ts", "pid", "tid"})
+
+
+def chrome_trace_events(tracer: NullTracer) -> List[Dict]:
+    """The tracer's events in Chrome trace-event form (sorted by time).
+
+    Timestamps are converted to microseconds (the format's unit); track
+    names become per-process thread ids with ``thread_name`` metadata so
+    the viewer labels each row.
+    """
+    tids: Dict[tuple, int] = {}
+    out: List[Dict] = [
+        {"name": "process_name", "ph": "M", "pid": _PID_SIM, "tid": 0,
+         "cat": "__metadata", "ts": 0, "args": {"name": "simulation"}},
+        {"name": "process_name", "ph": "M", "pid": _PID_HOST, "tid": 0,
+         "cat": "__metadata", "ts": 0, "args": {"name": "host"}},
+    ]
+    for event in tracer.events:
+        pid = _PID_HOST if event.domain == DOMAIN_HOST else _PID_SIM
+        key = (pid, event.track)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = len(tids) + 1
+            out.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "cat": "__metadata", "ts": 0, "args": {"name": event.track},
+            })
+        record: Dict = {
+            "name": event.name,
+            "cat": event.cat,
+            "ph": event.ph,
+            "ts": event.ts_ns / 1_000.0,
+            "pid": pid,
+            "tid": tid,
+        }
+        if event.ph == "X":
+            record["dur"] = event.dur_ns / 1_000.0
+        if event.ph == "i":
+            record["s"] = "t"  # thread-scoped instant
+        if event.args:
+            record["args"] = event.args
+        out.append(record)
+    out.sort(key=lambda e: (e.get("ph") != "M", e.get("ts", 0)))
+    return out
+
+
+def chrome_trace_dict(tracer: NullTracer) -> Dict:
+    """The full JSON-object form of the trace."""
+    return {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+
+
+def validate_chrome_trace(trace: Dict) -> None:
+    """Raise :class:`ConfigError` unless ``trace`` is loadable trace JSON.
+
+    Checks the schema the viewer relies on: a ``traceEvents`` list whose
+    members carry the required keys, non-negative timestamps and
+    durations, and at least the metadata events naming the processes.
+    Used by the test suite and the CI observability smoke step.
+    """
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ConfigError("trace JSON must be an object with 'traceEvents'")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        raise ConfigError("'traceEvents' must be a list")
+    phases = set()
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ConfigError(f"traceEvents[{i}] is not an object")
+        missing = _REQUIRED_EVENT_KEYS - event.keys()
+        if missing:
+            raise ConfigError(
+                f"traceEvents[{i}] ({event.get('name')!r}) lacks {sorted(missing)}"
+            )
+        if event["ph"] not in ("X", "i", "M", "C"):
+            raise ConfigError(
+                f"traceEvents[{i}] has unsupported phase {event['ph']!r}"
+            )
+        if event["ph"] != "M" and event["ts"] < 0:
+            raise ConfigError(f"traceEvents[{i}] has negative ts {event['ts']}")
+        if event["ph"] == "X" and event.get("dur", 0) < 0:
+            raise ConfigError(
+                f"traceEvents[{i}] has negative dur {event['dur']}"
+            )
+        phases.add(event["ph"])
+    if "M" not in phases:
+        raise ConfigError("trace lacks the process/thread metadata events")
+    json.dumps(trace)  # must round-trip to text
+
+
+def write_chrome_trace(tracer: NullTracer, path: os.PathLike) -> Dict:
+    """Write the trace as Chrome trace-event JSON; returns the object."""
+    trace = chrome_trace_dict(tracer)
+    validate_chrome_trace(trace)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, indent=1)
+    return trace
+
+
+def metrics_dict(tracer: NullTracer) -> Dict:
+    """The tracer's metrics registry as one flat JSON-ready object."""
+    return tracer.metrics.snapshot()
+
+
+def write_metrics_json(tracer: NullTracer, path: os.PathLike) -> Dict:
+    """Write the metrics snapshot as JSON; returns the object."""
+    snapshot = metrics_dict(tracer)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=1, sort_keys=True)
+    return snapshot

@@ -1,0 +1,146 @@
+"""Counters and histograms for the observability layer.
+
+A :class:`MetricsRegistry` is a flat, name-addressed collection of
+:class:`Counter` and :class:`Histogram` instruments.  Instruments are
+created on first use (``registry.counter("engine.events_run")``), so
+instrumentation sites never need registration boilerplate, and a
+snapshot of the whole registry serialises to plain JSON for the
+``--metrics`` exporter and the benchmark harnesses.
+
+Recording is cheap (an attribute increment or a list append) but not
+free; every instrumented site guards its recording behind the current
+tracer's ``enabled`` flag, so the disabled-by-default path never touches
+a registry at all.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.errors import ConfigError
+
+#: Percentiles included in every histogram snapshot.
+SNAPSHOT_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be >= 0) to the count."""
+        if n < 0:
+            raise ConfigError(f"counter increment must be >= 0, got {n}")
+        self.value += n
+
+    def snapshot(self) -> int:
+        """The current count."""
+        return self.value
+
+
+class Histogram:
+    """A distribution of observations (durations, sizes, readings).
+
+    Observations are kept exactly — the simulator's workloads record
+    thousands of values, not millions, so summarising at snapshot time
+    is cheaper and more faithful than maintaining fixed buckets.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        return math.fsum(self.values)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return self.total / self.count if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (nearest-rank; 0.0 when empty)."""
+        if not 0.0 <= p <= 100.0:
+            raise ConfigError(f"percentile must be in [0, 100], got {p}")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(0, min(len(ordered) - 1,
+                          math.ceil(p / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def snapshot(self) -> Dict[str, float]:
+        """A JSON-ready summary of the distribution."""
+        summary: Dict[str, float] = {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": min(self.values) if self.values else 0.0,
+            "max": max(self.values) if self.values else 0.0,
+        }
+        for p in SNAPSHOT_PERCENTILES:
+            summary[f"p{p:g}"] = self.percentile(p)
+        return summary
+
+
+class MetricsRegistry:
+    """Name-addressed counters and histograms, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created if missing)."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created if missing)."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    @property
+    def counters(self) -> Dict[str, Counter]:
+        """All counters by name (live view)."""
+        return self._counters
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        """All histograms by name (live view)."""
+        return self._histograms
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A JSON-serialisable snapshot of every instrument."""
+        return {
+            "counters": {
+                name: c.snapshot() for name, c in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: h.snapshot()
+                for name, h in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,192 @@
+"""Span/event tracer with a zero-overhead no-op default.
+
+The simulator's interesting behaviours — throttling periods, serialised
+VR transitions, 1-of-4 gating — are *emergent*, so when a transfer
+misbehaves the question is always "what did the engine, regulator and
+PMU actually do?".  This module answers it with event-level tracing:
+
+* every instrumented layer (engine, regulator, central PMU, channel,
+  session, sweep runner) reports spans and instant events to the
+  *current tracer*;
+* the default current tracer is a :class:`NullTracer` whose ``enabled``
+  flag is False — instrumentation sites check that flag and do nothing
+  else, so an untraced run pays one attribute read per site;
+* installing a recording :class:`Tracer` (via :func:`install` or the
+  :func:`tracing` context manager) captures everything for export to
+  Chrome trace-event JSON and a flat metrics JSON
+  (:mod:`repro.obs.export`).
+
+Two clock domains coexist.  Simulation-side spans carry *simulation*
+timestamps (ns on the engine clock); host-side spans (runner tasks,
+cache operations) carry wall-clock timestamps relative to the tracer's
+creation.  The exporter places them under separate trace processes so
+both timelines load cleanly in ``chrome://tracing`` / Perfetto.
+
+Tracers are per-process state: worker processes spawned by
+:class:`~repro.runner.sweep.SweepRunner` start with the no-op default,
+so tracing a parallel sweep records the runner's task spans but not the
+workers' internal simulation events (run ``jobs=1`` to capture those).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Clock domain of simulation-side events (engine timestamps, ns).
+DOMAIN_SIM = "sim"
+
+#: Clock domain of host-side events (wall clock, ns since tracer start).
+DOMAIN_HOST = "host"
+
+
+@dataclass
+class TraceEvent:
+    """One recorded trace event (a complete span or an instant)."""
+
+    name: str
+    cat: str
+    ph: str  # "X" (complete span) or "i" (instant)
+    ts_ns: float
+    dur_ns: float
+    track: str
+    domain: str
+    args: Optional[Dict] = None
+
+
+class NullTracer:
+    """The disabled default: every operation is a no-op.
+
+    ``enabled`` is False; instrumentation sites must check it before
+    building event arguments, which keeps the disabled path to a single
+    module-global read and attribute check per site.
+    """
+
+    enabled = False
+    engine_events = False
+
+    def __init__(self) -> None:
+        # A registry is kept so an unguarded metrics call cannot crash;
+        # guarded sites never touch it.
+        self.metrics = MetricsRegistry()
+        self.events: List[TraceEvent] = []
+
+    def complete(self, name: str, cat: str, start_ns: float, dur_ns: float,
+                 track: str = "sim", args: Optional[Dict] = None) -> None:
+        """Discard a span."""
+
+    def instant(self, name: str, cat: str, ts_ns: float,
+                track: str = "sim", args: Optional[Dict] = None) -> None:
+        """Discard an instant event."""
+
+    @contextmanager
+    def wall_span(self, name: str, cat: str, track: str = "runner",
+                  args: Optional[Dict] = None) -> Iterator[Dict]:
+        """No-op context manager (yields a throwaway args dict)."""
+        yield {}
+
+
+class Tracer(NullTracer):
+    """A recording tracer: spans, instants and a metrics registry.
+
+    Parameters
+    ----------
+    events:
+        Capture trace events.  Disable for a metrics-only run (the
+        ``--metrics``-without-``--trace`` mode): counters and histograms
+        are still recorded but no event list grows.
+    engine_events:
+        Also record one instant per engine event dispatch.  Off by
+        default — a multi-millisecond transfer dispatches thousands of
+        events, which swamps the interesting spans; enable it when
+        debugging the event loop itself.
+    """
+
+    enabled = True
+
+    def __init__(self, events: bool = True, engine_events: bool = False) -> None:
+        super().__init__()
+        self.events_enabled = events
+        self.engine_events = events and engine_events
+        self._wall_epoch = time.perf_counter_ns()
+
+    # -- recording -----------------------------------------------------------
+
+    def complete(self, name: str, cat: str, start_ns: float, dur_ns: float,
+                 track: str = "sim", args: Optional[Dict] = None) -> None:
+        """Record a complete span at simulation time ``start_ns``."""
+        if self.events_enabled:
+            self.events.append(TraceEvent(name, cat, "X", start_ns,
+                                          max(0.0, dur_ns), track,
+                                          DOMAIN_SIM, args))
+
+    def instant(self, name: str, cat: str, ts_ns: float,
+                track: str = "sim", args: Optional[Dict] = None) -> None:
+        """Record an instant event at simulation time ``ts_ns``."""
+        if self.events_enabled:
+            self.events.append(TraceEvent(name, cat, "i", ts_ns, 0.0, track,
+                                          DOMAIN_SIM, args))
+
+    def wall_ns(self) -> float:
+        """Wall-clock ns since the tracer was created."""
+        return float(time.perf_counter_ns() - self._wall_epoch)
+
+    @contextmanager
+    def wall_span(self, name: str, cat: str, track: str = "runner",
+                  args: Optional[Dict] = None) -> Iterator[Dict]:
+        """Record a host-side wall-clock span around a ``with`` body.
+
+        Yields the span's args dict so the body can attach outcome
+        fields (e.g. ``cache: "hit"``) before the span is stored.
+        """
+        span_args: Dict = dict(args) if args else {}
+        start = self.wall_ns()
+        try:
+            yield span_args
+        finally:
+            if self.events_enabled:
+                self.events.append(TraceEvent(
+                    name, cat, "X", start, self.wall_ns() - start,
+                    track, DOMAIN_HOST, span_args or None,
+                ))
+
+
+#: The process-wide current tracer; module-global so instrumentation
+#: sites can reach it without threading a handle through every layer.
+_CURRENT: NullTracer = NullTracer()
+
+
+def current() -> NullTracer:
+    """The tracer instrumentation sites report to right now."""
+    return _CURRENT
+
+
+def install(tracer: NullTracer) -> NullTracer:
+    """Make ``tracer`` current; returns the previous tracer."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = tracer
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None, **kwargs) -> Iterator[Tracer]:
+    """Install a recording tracer for a ``with`` block.
+
+    ``kwargs`` are forwarded to :class:`Tracer` when no tracer instance
+    is given.  The previous tracer is restored on exit::
+
+        with tracing() as tr:
+            IccThreadCovert(System(cannon_lake_i3_8121u())).transfer(b"hi")
+        write_chrome_trace(tr, "transfer-trace.json")
+    """
+    active = tracer if tracer is not None else Tracer(**kwargs)
+    previous = install(active)
+    try:
+        yield active
+    finally:
+        install(previous)

@@ -29,6 +29,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.errors import ConfigError, SimulationError
+from repro.obs.tracer import current as _obs
 from repro.units import mv_to_v
 
 
@@ -220,8 +221,11 @@ class VoltageRegulator:
         target = min(self.spec.quantize_vid(target_vcc), self.spec.vcc_max)
         v_now = self.voltage_at(now_ns)
         self._last_command_ns = now_ns
+        tracer = _obs()
         if abs(target - v_now) < 1e-12:
             self._busy_until = now_ns
+            if tracer.enabled:
+                tracer.metrics.counter("vr.commands_noop").inc()
             return now_ns
         latency = self.spec.command_latency_ns
         slew_ns = abs(target - v_now) / mv_to_v(self.spec.slew_mv_per_us) * 1_000.0
@@ -230,6 +234,15 @@ class VoltageRegulator:
         self._append_segment(_Segment(now_ns, start, v_now, v_now))
         self._append_segment(_Segment(start, end, v_now, target))
         self._busy_until = end
+        if tracer.enabled:
+            tracer.metrics.counter("vr.commands").inc()
+            tracer.metrics.histogram("vr.transition_ns").observe(end - now_ns)
+            tracer.complete(
+                "vr.transition", "pdn", now_ns, end - now_ns, track=self.name,
+                args={"from_v": round(v_now, 6), "to_v": round(target, 6),
+                      "delta_mv": round((target - v_now) * 1000.0, 3),
+                      "up": target > v_now},
+            )
         return end
 
     def force_level(self, vcc: float) -> None:

@@ -29,6 +29,7 @@ from typing import Callable, Deque, List, Optional, Sequence, Set
 
 from repro.errors import ConfigError, SimulationError
 from repro.isa.instructions import IClass
+from repro.obs.tracer import current as _obs
 from repro.pdn.guardband import GuardbandModel
 from repro.pdn.regulator import VoltageRegulator
 from repro.pmu.dvfs import PState, VFCurve
@@ -119,6 +120,10 @@ class CentralPMU:
         self._rail_active: List[bool] = [False] * len(rails)
         self._throttled: List[Set[int]] = [set() for _ in rails]
         self._freq_busy = False
+        # Observability bookkeeping: when each rail's current throttle
+        # window and the in-flight PLL relock began (None when inactive).
+        self._throttle_since: List[Optional[float]] = [None] * len(rails)
+        self._pll_since: Optional[float] = None
 
         #: Fired after any throttle/frequency state change; the system
         #: hooks this to recompute execution rates and record traces.
@@ -180,6 +185,16 @@ class CentralPMU:
             return True
         self._queues[rail].append(_Request(core, iclass, up=True))
         self._throttled[rail].add(core)
+        tracer = _obs()
+        if tracer.enabled:
+            tracer.metrics.counter("pmu.requests_queued").inc()
+            if self._throttle_since[rail] is None:
+                self._throttle_since[rail] = self.engine.now
+            tracer.instant(
+                "pmu.queue_up", "pmu", self.engine.now, track=f"rail{rail}",
+                args={"core": core, "iclass": iclass.name,
+                      "queue_depth": len(self._queues[rail])},
+            )
         self._notify()
         self._kick(rail)
         return True
@@ -191,6 +206,13 @@ class CentralPMU:
             return
         rail = self.rail_of_core[core]
         self._queues[rail].append(_Request(core, new_requirement, up=False))
+        tracer = _obs()
+        if tracer.enabled:
+            tracer.metrics.counter("pmu.downgrades_queued").inc()
+            tracer.instant(
+                "pmu.queue_down", "pmu", self.engine.now, track=f"rail{rail}",
+                args={"core": core, "iclass": new_requirement.name},
+            )
         self._kick(rail)
 
     def set_requested_freq(self, freq_ghz: float) -> None:
@@ -334,7 +356,20 @@ class CentralPMU:
         if self._rail_active[rail] or self._queues[rail]:
             return
         if self._throttled[rail]:
+            released = len(self._throttled[rail])
             self._throttled[rail].clear()
+            tracer = _obs()
+            if tracer.enabled:
+                since = self._throttle_since[rail]
+                self._throttle_since[rail] = None
+                if since is not None:
+                    residency = self.engine.now - since
+                    tracer.metrics.histogram(
+                        "pmu.throttle_residency_ns").observe(residency)
+                    tracer.complete(
+                        "pmu.throttle", "pmu", since, residency,
+                        track=f"rail{rail}", args={"cores_released": released},
+                    )
             self._notify()
 
     # -- frequency management -----------------------------------------------------
@@ -368,6 +403,7 @@ class CentralPMU:
         if self._freq_busy:
             raise SimulationError("frequency change while PLL busy")
         self._freq_busy = True
+        self._pll_since = self.engine.now
         self._notify()
         self.engine.schedule(
             self.config.pll_relock_ns, self._finish_freq_change, new_freq,
@@ -376,6 +412,16 @@ class CentralPMU:
 
     def _finish_freq_change(self, new_freq: float,
                             continuation: Optional[Callable[[], None]]) -> None:
+        tracer = _obs()
+        if tracer.enabled and self._pll_since is not None:
+            relock = self.engine.now - self._pll_since
+            tracer.metrics.counter("pmu.freq_changes").inc()
+            tracer.metrics.histogram("pmu.pll_relock_ns").observe(relock)
+            tracer.complete(
+                "pmu.pll_relock", "pmu", self._pll_since, relock, track="pll",
+                args={"to_ghz": new_freq},
+            )
+        self._pll_since = None
         self.freq_ghz = new_freq
         self._freq_busy = False
         self._notify()

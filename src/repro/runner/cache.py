@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.errors import ConfigError
+from repro.obs.tracer import current as _obs
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -117,11 +118,17 @@ def task_key(fn: Callable[..., Any], kwargs: Mapping[str, Any],
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters of one :class:`ResultCache`."""
+    """Hit/miss/store counters of one :class:`ResultCache`.
+
+    ``corrupt`` counts entries that existed on disk but could not be
+    decoded; each such entry is also counted as a miss (and unlinked, so
+    it cannot be re-missed forever).
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    corrupt: int = 0
 
 
 class ResultCache:
@@ -154,16 +161,45 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.pkl"
 
     def get(self, key: str) -> Tuple[bool, Any]:
-        """(hit, value) for ``key``; corrupt entries count as misses."""
+        """(hit, value) for ``key``.
+
+        A missing entry is a plain miss.  An entry that exists but
+        cannot be decoded (truncated write, unpicklable after a class
+        moved, plain disk corruption) is *unlinked* and counted in
+        ``stats.corrupt`` as well as ``stats.misses`` — leaving it on
+        disk would re-read and re-miss it on every lookup while
+        ``__len__`` kept counting it as a valid entry.
+        """
+        tracer = _obs()
         path = self._path(key)
         try:
-            with open(path, "rb") as fh:
-                value = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError):
+            fh = open(path, "rb")
+        except OSError:
             self.stats.misses += 1
+            if tracer.enabled:
+                tracer.metrics.counter("cache.misses").inc()
+            return False, None
+        try:
+            with fh:
+                value = pickle.load(fh)
+        except Exception:
+            # Undecodable garbage can raise nearly anything out of the
+            # unpickler (UnpicklingError, EOFError, ImportError, value
+            # and type errors from corrupt opcodes); whatever it was,
+            # the entry is useless — drop it.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            if tracer.enabled:
+                tracer.metrics.counter("cache.corrupt").inc()
+                tracer.metrics.counter("cache.misses").inc()
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return False, None
         self.stats.hits += 1
+        if tracer.enabled:
+            tracer.metrics.counter("cache.hits").inc()
         return True, value
 
     def put(self, key: str, value: Any) -> None:
@@ -182,6 +218,9 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+        tracer = _obs()
+        if tracer.enabled:
+            tracer.metrics.counter("cache.stores").inc()
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.pkl"))

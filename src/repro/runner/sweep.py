@@ -17,11 +17,30 @@ executes nothing.
 from __future__ import annotations
 
 import concurrent.futures
+import time
 from dataclasses import dataclass
-from typing import Any, Callable, List, Mapping, Optional, Sequence
+from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
+from repro.obs.tracer import current as _obs
 from repro.runner.cache import ResultCache
+
+
+def _annotate_failure(exc: BaseException, index: int,
+                      kwargs: Mapping[str, Any]) -> BaseException:
+    """Attach the failing task's identity to its exception.
+
+    The original exception type is preserved (callers' ``except`` clauses
+    keep working); ``task_index`` and ``task_kwargs`` attributes — plus an
+    exception note on Python >= 3.11 — say *which* task of the sweep died
+    and with what parameters.
+    """
+    exc.task_index = index  # type: ignore[attr-defined]
+    exc.task_kwargs = dict(kwargs)  # type: ignore[attr-defined]
+    add_note = getattr(exc, "add_note", None)
+    if add_note is not None:
+        add_note(f"SweepRunner task {index} failed; kwargs={dict(kwargs)!r}")
+    return exc
 
 
 @dataclass
@@ -64,11 +83,18 @@ class SweepRunner:
         reorder them.  ``fn`` must be a module-level function and every
         kwargs value picklable when ``jobs > 1`` (process pool) or when
         a cache is attached (results are pickled to disk).
+
+        When a task raises, every sibling result that already completed
+        is still stored in the cache before the exception propagates —
+        a crashed sweep resumes from where it died instead of replaying
+        finished work.  The re-raised exception carries ``task_index``
+        and ``task_kwargs`` attributes identifying the failing task.
         """
         stats = RunStats(tasks=len(kwargs_list))
         results: List[Any] = [None] * len(kwargs_list)
         pending: List[int] = []
         keys: List[Optional[str]] = [None] * len(kwargs_list)
+        tracer = _obs()
 
         if self.cache is not None:
             for idx, kwargs in enumerate(kwargs_list):
@@ -83,30 +109,78 @@ class SweepRunner:
         else:
             pending = list(range(len(kwargs_list)))
 
+        completed: List[int] = []
+        failure: Optional[Tuple[int, BaseException]] = None
         if pending:
             stats.executed = len(pending)
-            if self.jobs == 1 or len(pending) == 1:
-                for idx in pending:
-                    results[idx] = fn(**kwargs_list[idx])
-            else:
-                workers = min(self.jobs, len(pending))
-                with concurrent.futures.ProcessPoolExecutor(
-                        max_workers=workers) as pool:
-                    futures = {
-                        idx: pool.submit(fn, **kwargs_list[idx])
-                        for idx in pending
-                    }
-                    for idx, future in futures.items():
-                        results[idx] = future.result()
-            if self.cache is not None:
-                for idx in pending:
-                    self.cache.put(keys[idx], results[idx])
+            try:
+                if self.jobs == 1 or len(pending) == 1:
+                    for idx in pending:
+                        try:
+                            results[idx] = self._run_one(
+                                fn, kwargs_list[idx], idx, tracer)
+                        except Exception as exc:
+                            failure = (idx, exc)
+                            break
+                        completed.append(idx)
+                else:
+                    workers = min(self.jobs, len(pending))
+                    with concurrent.futures.ProcessPoolExecutor(
+                            max_workers=workers) as pool:
+                        futures = {
+                            idx: pool.submit(fn, **kwargs_list[idx])
+                            for idx in pending
+                        }
+                        # Drain every future before deciding the call's
+                        # fate: one failure must not discard siblings
+                        # that finished (or will finish) successfully.
+                        for idx, future in futures.items():
+                            try:
+                                results[idx] = future.result()
+                            except Exception as exc:
+                                if failure is None:
+                                    failure = (idx, exc)
+                                continue
+                            completed.append(idx)
+            finally:
+                if self.cache is not None:
+                    for idx in completed:
+                        self.cache.put(keys[idx], results[idx])
+
+        if tracer.enabled:
+            tracer.metrics.counter("runner.tasks").inc(stats.tasks)
+            tracer.metrics.counter("runner.cache_hits").inc(stats.cache_hits)
+            tracer.metrics.counter("runner.executed").inc(len(completed))
+            if failure is not None:
+                tracer.metrics.counter("runner.task_failures").inc()
+
+        if failure is not None:
+            idx, exc = failure
+            raise _annotate_failure(exc, idx, kwargs_list[idx])
 
         self.last_run = stats
         self.total.tasks += stats.tasks
         self.total.cache_hits += stats.cache_hits
         self.total.executed += stats.executed
         return results
+
+    def _run_one(self, fn: Callable[..., Any], kwargs: Mapping[str, Any],
+                 index: int, tracer) -> Any:
+        """Run one task inline, under a wall-clock span when tracing."""
+        if not tracer.enabled:
+            return fn(**kwargs)
+        start = time.perf_counter()
+        with tracer.wall_span("runner.task", "runner",
+                              args={"index": index}) as span:
+            try:
+                result = fn(**kwargs)
+            except Exception:
+                span["outcome"] = "error"
+                raise
+            span["outcome"] = "executed"
+        tracer.metrics.histogram("runner.task_wall_ms").observe(
+            (time.perf_counter() - start) * 1e3)
+        return result
 
     def call(self, fn: Callable[..., Any], **kwargs: Any) -> Any:
         """Run (or cache-resolve) a single task."""

@@ -30,6 +30,7 @@ import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.tracer import current as _obs
 
 #: Compaction is skipped below this heap size; the O(n) rebuild only
 #: pays for itself once the heap is big enough for sift cost to matter.
@@ -92,15 +93,25 @@ class Engine:
     def _note_cancel(self) -> None:
         """Bookkeeping hook called by :meth:`EventHandle.cancel`."""
         self._cancelled += 1
+        tracer = _obs()
+        if tracer.enabled:
+            tracer.metrics.counter("engine.cancelled").inc()
         if (len(self._heap) >= _COMPACT_MIN_SIZE
                 and self._cancelled > len(self._heap) // 2):
             self._compact()
 
     def _compact(self) -> None:
         """Drop every cancelled entry in one filter + heapify pass."""
+        before = len(self._heap)
         self._heap = [entry for entry in self._heap if not entry[2].cancelled]
         heapq.heapify(self._heap)
         self._cancelled = 0
+        tracer = _obs()
+        if tracer.enabled:
+            tracer.metrics.counter("engine.compactions").inc()
+            tracer.instant("engine.compact", "engine", self.now, track="engine",
+                           args={"dropped": before - len(self._heap),
+                                 "kept": len(self._heap)})
 
     def _drop_cancelled_head(self) -> None:
         while self._heap and self._heap[0][2].cancelled:
@@ -121,6 +132,15 @@ class Engine:
                 continue
             self.now = time_ns
             self.events_run += 1
+            tracer = _obs()
+            if tracer.enabled:
+                tracer.metrics.counter("engine.events_run").inc()
+                if tracer.engine_events:
+                    tracer.instant(
+                        getattr(handle.callback, "__qualname__",
+                                repr(handle.callback)),
+                        "engine", time_ns, track="engine",
+                    )
             handle.callback(*handle.args)
             return True
         return False

@@ -1,6 +1,8 @@
 """Calibrator and slot synchronisation."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import Calibrator, SlotSchedule
 from repro.errors import CalibrationError, ProtocolError
@@ -92,6 +94,45 @@ class TestSlotSchedule:
             SlotSchedule(0.0, 0.0)
         with pytest.raises(ProtocolError):
             SlotSchedule(-1.0, 10.0)
+
+
+class TestSlotBoundaryRoundoff:
+    """Float round-off on exact slot boundaries (regression).
+
+    ``0.3 / 0.1 == 2.999…`` in float64, so a query exactly on a slot
+    boundary used to be assigned to the *previous* slot — and
+    ``next_slot_after`` then returned a slot that had already started,
+    silently costing the receiver its alignment.
+    """
+
+    def test_exact_boundary_belongs_to_the_starting_slot(self):
+        schedule = SlotSchedule(0.0, 0.1)
+        assert schedule.slot_index_at(0.3) == 3  # 0.3/0.1 == 2.999…
+        assert schedule.next_slot_after(0.3) == 4
+
+    def test_boundary_queries_over_awkward_decimals(self):
+        schedule = SlotSchedule(0.0, 0.1)
+        for k in range(50):
+            assert schedule.slot_index_at(k * 0.1) == k, k
+
+    def test_midslot_queries_unaffected(self):
+        schedule = SlotSchedule(0.0, 0.1)
+        assert schedule.slot_index_at(0.35) == 3
+        assert schedule.slot_index_at(0.299) == 2
+
+    @given(
+        slot_ns=st.floats(min_value=1e-1, max_value=1e7,
+                          allow_nan=False, allow_infinity=False),
+        epoch_ns=st.floats(min_value=0.0, max_value=1e12,
+                           allow_nan=False, allow_infinity=False),
+        k=st.integers(min_value=0, max_value=1_000_000),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_slot_starts_map_back_to_their_own_slot(self, slot_ns, epoch_ns, k):
+        schedule = SlotSchedule(epoch_ns, slot_ns)
+        start = schedule.slot_start(k)
+        assert schedule.slot_index_at(start) == k
+        assert schedule.next_slot_after(start) == k + 1
 
 
 class TestDecisionDirectedTracking:

@@ -145,6 +145,42 @@ class TestIccCoresCovert:
         assert centers[3] > centers[0]
 
 
+class TestTransferReportAccounting:
+    """BER arithmetic of :class:`TransferReport` (regression).
+
+    A receiver that loses slots used to report a *lower* BER than one
+    that decoded everything wrong, because ``zip`` silently dropped the
+    missing tail.  Missing or surplus symbols now count as fully errored.
+    """
+
+    def _report(self, sent, received):
+        from repro.core import ChannelLocation, TransferReport
+
+        return TransferReport(
+            sent=b"", received=b"", symbols_sent=sent,
+            symbols_received=received, measurements_tsc=[],
+            start_ns=0.0, end_ns=1.0,
+            location=ChannelLocation.SAME_THREAD)
+
+    def test_equal_length_counts_symbol_xor_bits(self):
+        report = self._report([0b00, 0b01, 0b11], [0b00, 0b11, 0b00])
+        assert report.bit_errors == 3  # 0 + 1 + 2 wrong bits
+        assert report.ber == pytest.approx(3 / 6)
+
+    def test_missing_tail_counts_as_fully_errored(self):
+        report = self._report([1, 2, 3, 0], [1, 2])
+        assert report.bit_errors == 4  # two lost symbols x 2 bits
+        assert report.ber == pytest.approx(4 / 8)
+
+    def test_surplus_symbols_count_too(self):
+        report = self._report([1, 2], [1, 2, 3])
+        assert report.bit_errors == 2
+
+    def test_everything_lost_is_total_loss(self):
+        report = self._report([0, 1, 2, 3], [])
+        assert report.ber == 1.0
+
+
 class TestChannelConfig:
     def test_bad_slot_rejected(self):
         with pytest.raises(ProtocolError):

@@ -98,6 +98,43 @@ class TestHamming74:
             Hamming74().encode_block([1, 0, 1])
 
 
+class TestHammingAdversarial:
+    """SECDED pushed to its limits (adversarial positions, not samples)."""
+
+    def test_every_double_bit_error_in_a_block_is_detected(self):
+        # Any two flipped bits in an extended block leave an even overall
+        # parity with a non-zero syndrome: always flagged, never miscorrected
+        # into accepted-but-wrong data.
+        code = Hamming74(extended=True)
+        clean = code.encode_block([1, 0, 0, 1])
+        for first in range(8):
+            for second in range(first + 1, 8):
+                block = list(clean)
+                block[first] ^= 1
+                block[second] ^= 1
+                _, _, bad = code.decode_block(block)
+                assert bad, f"double error at ({first}, {second}) undetected"
+
+    def test_adjacent_wire_bit_errors_survive_the_interleaver(self):
+        # A two-bit symbol error flips two *adjacent* wire bits.  The
+        # session's interleaver must spread every such pair across two
+        # blocks so SECDED sees one (correctable) error each — for every
+        # possible wire position, not just a lucky one.
+        from repro.core.ecc import deinterleave, interleave
+
+        code = Hamming74(extended=True)
+        data = [1, 0, 1, 1, 0, 1, 0, 0] * 4  # 8 blocks of 4 data bits
+        coded = code.encode(data)
+        wire = interleave(coded, depth=code.block_bits)
+        for position in range(len(wire) - 1):
+            corrupted = list(wire)
+            corrupted[position] ^= 1
+            corrupted[position + 1] ^= 1
+            decoded = code.decode(
+                deinterleave(corrupted, depth=code.block_bits))
+            assert decoded == data, f"pair at wire position {position}"
+
+
 class TestCRC8:
     def test_checksum_deterministic(self):
         crc = CRC8()

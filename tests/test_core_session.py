@@ -1,9 +1,13 @@
 """Reliable session transport over the covert channels."""
 
+from types import SimpleNamespace
+
 import pytest
 
 from repro import System
-from repro.core import IccCoresCovert, IccSMTcovert, IccThreadCovert
+from repro.core import ChannelLocation, IccCoresCovert, IccSMTcovert, IccThreadCovert
+from repro.core.channel import TransferReport
+from repro.core.encoding import bytes_to_symbols
 from repro.core.session import (
     CovertSession,
     FecScheme,
@@ -96,6 +100,64 @@ class TestNoisyTransport:
         assert report.delivered is None
         assert report.goodput_bps == 0.0
         assert any(not f.delivered for f in report.frames)
+
+
+class _JammedChannel:
+    """A channel whose every transfer arrives fully corrupted.
+
+    Deterministic stand-in for a hopelessly noisy link: received bytes
+    are the bitwise complement of what was sent, so no CRC ever passes
+    and every retry is spent.  Carries just enough surface for
+    :class:`CovertSession` — a ``system.now`` clock and ``transfer``.
+    """
+
+    def __init__(self):
+        self.system = SimpleNamespace(now=0.0)
+        self.transfers = 0
+
+    def transfer(self, payload):
+        self.transfers += 1
+        start = self.system.now
+        self.system.now += 1_000.0
+        corrupted = bytes(b ^ 0xFF for b in payload)
+        return TransferReport(
+            sent=payload,
+            received=corrupted,
+            symbols_sent=bytes_to_symbols(payload),
+            symbols_received=bytes_to_symbols(corrupted),
+            measurements_tsc=[],
+            start_ns=start,
+            end_ns=self.system.now,
+            location=ChannelLocation.SAME_THREAD,
+        )
+
+
+class TestRetryExhaustion:
+    def test_exhausted_retries_reported_honestly(self):
+        channel = _JammedChannel()
+        session = CovertSession(
+            channel,
+            SessionConfig(fec=FecScheme.NONE, max_retries=2, frame_bytes=4))
+        report = session.send(bytes(range(8)))  # 2 frames of 4 bytes
+        assert not report.ok
+        assert report.delivered is None
+        assert len(report.frames) == 2
+        assert all(not f.delivered for f in report.frames)
+        assert all(f.attempts == 3 for f in report.frames)  # 1 + 2 retries
+        assert report.total_attempts == 6
+        assert report.retransmissions == 4
+        assert channel.transfers == 6
+        assert report.goodput_bps == 0.0
+
+    def test_zero_retry_budget_means_one_attempt(self):
+        channel = _JammedChannel()
+        session = CovertSession(
+            channel,
+            SessionConfig(fec=FecScheme.NONE, max_retries=0, frame_bytes=4))
+        report = session.send(b"\xa5\x3c")
+        assert not report.ok
+        assert report.retransmissions == 0
+        assert channel.transfers == 1
 
 
 class TestSessionReport:

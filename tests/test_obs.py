@@ -1,0 +1,228 @@
+"""Observability layer: tracer, metrics registry and exporters."""
+
+import json
+
+import pytest
+
+from repro import System, cannon_lake_i3_8121u
+from repro.core import IccThreadCovert
+from repro.core.session import CovertSession, SessionConfig
+from repro.errors import ConfigError
+from repro.obs import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    chrome_trace_dict,
+    current,
+    install,
+    metrics_dict,
+    tracing,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.runner import ResultCache, SweepRunner
+
+
+def _square(x):
+    """Module-level so it pickles into pool workers."""
+    return x * x
+
+
+class TestMetrics:
+    def test_counter(self):
+        c = Counter("events")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ConfigError):
+            c.inc(-1)
+
+    def test_histogram_summary(self):
+        h = Histogram("dur")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(10.0)
+        assert h.mean == pytest.approx(2.5)
+        assert h.percentile(50) == 2.0
+        assert h.percentile(100) == 4.0
+        snap = h.snapshot()
+        assert snap["min"] == 1.0 and snap["max"] == 4.0
+        with pytest.raises(ConfigError):
+            h.percentile(101)
+
+    def test_empty_histogram_snapshot(self):
+        snap = Histogram("empty").snapshot()
+        assert snap["count"] == 0
+        assert snap["mean"] == 0.0
+
+    def test_registry_creates_on_first_use(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        assert reg.counter("a").value == 1  # same instrument
+        reg.histogram("h").observe(2.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["a"] == 1
+        assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestTracerPlumbing:
+    def test_default_is_disabled(self):
+        assert isinstance(current(), NullTracer)
+        assert not current().enabled
+
+    def test_null_tracer_discards_everything(self):
+        null = NullTracer()
+        null.complete("x", "c", 0.0, 1.0)
+        null.instant("y", "c", 0.0)
+        with null.wall_span("z", "c"):
+            pass
+        assert null.events == []
+
+    def test_install_and_restore(self):
+        tr = Tracer()
+        previous = install(tr)
+        try:
+            assert current() is tr
+        finally:
+            install(previous)
+        assert current() is previous
+
+    def test_tracing_contextmanager_restores_on_error(self):
+        before = current()
+        with pytest.raises(RuntimeError):
+            with tracing():
+                assert current().enabled
+                raise RuntimeError("boom")
+        assert current() is before
+
+    def test_metrics_only_mode_records_no_events(self):
+        with tracing(events=False) as tr:
+            IccThreadCovert(System(cannon_lake_i3_8121u())).transfer(b"\x42")
+        assert tr.events == []
+        assert tr.metrics.counter("channel.transfers").value == 1
+
+    def test_wall_span_outcome_args(self):
+        with tracing() as tr:
+            with tr.wall_span("task", "runner") as span:
+                span["outcome"] = "done"
+        [event] = tr.events
+        assert event.ph == "X"
+        assert event.domain == "host"
+        assert event.args == {"outcome": "done"}
+        assert event.dur_ns >= 0.0
+
+
+class TestTracedTransfer:
+    """A fig-6-style transfer must produce a loadable Chrome trace."""
+
+    @pytest.fixture(scope="class")
+    def traced(self):
+        with tracing(engine_events=True) as tr:
+            system = System(cannon_lake_i3_8121u())
+            report = IccThreadCovert(system).transfer(b"\xa5\x3c")
+        return tr, report
+
+    def test_transfer_unharmed_by_tracing(self, traced):
+        _, report = traced
+        assert report.received == b"\xa5\x3c"
+        assert report.ber == 0.0
+
+    def test_every_layer_contributes(self, traced):
+        tr, _ = traced
+        names = {e.name for e in tr.events}
+        assert "vr.transition" in names        # regulator
+        assert "pmu.queue_up" in names         # grant queueing
+        assert "pmu.throttle" in names         # throttle residency spans
+        assert "channel.calibrate" in names    # calibration
+        assert "channel.transfer" in names     # transfer span
+        assert any(n.startswith("slot ") for n in names)  # per-slot spans
+        cats = {e.cat for e in tr.events}
+        assert "engine" in cats                # engine_events detail
+
+    def test_metrics_cover_the_protocol(self, traced):
+        tr, _ = traced
+        snap = metrics_dict(tr)
+        assert snap["counters"]["channel.transfers"] == 1
+        assert snap["counters"]["engine.events_run"] > 100
+        assert snap["counters"]["vr.commands"] > 0
+        assert snap["histograms"]["pmu.throttle_residency_ns"]["count"] > 0
+        assert snap["histograms"]["vr.transition_ns"]["min"] > 0
+
+    def test_chrome_trace_validates_and_roundtrips(self, traced):
+        tr, _ = traced
+        trace = chrome_trace_dict(tr)
+        validate_chrome_trace(trace)
+        # Must survive a JSON round-trip bit-identically.
+        assert json.loads(json.dumps(trace)) == trace
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert phases >= {"M", "X", "i"}
+
+    def test_exporters_write_files(self, traced, tmp_path):
+        tr, _ = traced
+        trace_obj = write_chrome_trace(tr, tmp_path / "trace.json")
+        metrics_obj = write_metrics_json(tr, tmp_path / "metrics.json")
+        assert json.loads((tmp_path / "trace.json").read_text()) == trace_obj
+        assert json.loads((tmp_path / "metrics.json").read_text()) == metrics_obj
+
+    def test_throttle_spans_nest_inside_the_timeline(self, traced):
+        tr, _ = traced
+        spans = [e for e in tr.events if e.name == "pmu.throttle"]
+        assert spans
+        for span in spans:
+            assert span.dur_ns > 0
+            assert span.ts_ns >= 0
+
+
+class TestTraceValidation:
+    def test_rejects_non_object(self):
+        with pytest.raises(ConfigError):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(ConfigError):
+            validate_chrome_trace({"traceEvents": [{"name": "x"}]})
+
+    def test_rejects_negative_duration(self):
+        bad = {"traceEvents": [
+            {"name": "m", "cat": "__metadata", "ph": "M", "ts": 0,
+             "pid": 1, "tid": 0},
+            {"name": "x", "cat": "c", "ph": "X", "ts": 0.0, "dur": -1.0,
+             "pid": 1, "tid": 1},
+        ]}
+        with pytest.raises(ConfigError):
+            validate_chrome_trace(bad)
+
+
+class TestSessionAndRunnerInstrumentation:
+    def test_session_metrics(self):
+        with tracing() as tr:
+            session = CovertSession(
+                IccThreadCovert(System(cannon_lake_i3_8121u())),
+                SessionConfig(frame_bytes=4))
+            report = session.send(bytes(range(8)))
+        assert report.ok
+        snap = metrics_dict(tr)
+        assert snap["counters"]["session.frames"] == 2
+        assert snap["counters"]["session.attempts"] == report.total_attempts
+        assert snap["histograms"]["session.attempts_per_frame"]["count"] == 2
+        assert any(e.name == "session.frame_attempt" for e in tr.events)
+
+    def test_runner_task_spans_and_cache_counters(self, tmp_path):
+        with tracing() as tr:
+            runner = SweepRunner(cache=ResultCache(root=tmp_path))
+            runner.map(_square, [{"x": x} for x in range(3)])
+            runner.map(_square, [{"x": x} for x in range(3)])  # warm
+        snap = metrics_dict(tr)
+        assert snap["counters"]["runner.tasks"] == 6
+        assert snap["counters"]["runner.executed"] == 3
+        assert snap["counters"]["runner.cache_hits"] == 3
+        assert snap["counters"]["cache.stores"] == 3
+        assert snap["counters"]["cache.hits"] == 3
+        task_spans = [e for e in tr.events if e.name == "runner.task"]
+        assert len(task_spans) == 3
+        assert all(s.args["outcome"] == "executed" for s in task_spans)
+        assert snap["histograms"]["runner.task_wall_ms"]["count"] == 3

@@ -16,6 +16,13 @@ def _square(x):
     return x * x
 
 
+def _fail_on_three(x):
+    """Module-level task that dies on exactly one input."""
+    if x == 3:
+        raise ValueError("task three always fails")
+    return x * x
+
+
 def _config_probe(config, scale):
     """A task taking a ProcessorConfig, for canonicalisation tests."""
     return config.vcc_max * scale
@@ -77,7 +84,10 @@ class TestResultCache:
         assert cache.stats.stores == 1
         assert len(cache) == 1
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_is_unlinked(self, tmp_path):
+        # Regression: a corrupt entry used to stay on disk forever —
+        # re-read and re-missed on every lookup while __len__ kept
+        # counting it as a valid entry.
         cache = ResultCache(root=tmp_path)
         key = cache.key_for(_square, {"x": 4})
         cache.put(key, 16)
@@ -85,6 +95,24 @@ class TestResultCache:
         path.write_bytes(b"not a pickle")
         hit, _ = cache.get(key)
         assert not hit
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+        assert not path.exists()
+        assert len(cache) == 0
+        # The follow-up lookup is a plain miss, not another corruption.
+        assert cache.get(key) == (False, None)
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 2
+
+    def test_truncated_pickle_is_also_corrupt(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache.key_for(_square, {"x": 5})
+        cache.put(key, 25)
+        path = cache._path(key)
+        path.write_bytes(path.read_bytes()[:-3])  # torn write
+        assert cache.get(key) == (False, None)
+        assert cache.stats.corrupt == 1
+        assert not path.exists()
 
     def test_version_isolates_entries(self, tmp_path):
         old = ResultCache(root=tmp_path, version="v-old")
@@ -156,6 +184,52 @@ class TestSweepRunner:
         assert out == [x * x for x in range(6)]
         assert runner.last_run.cache_hits == 3
         assert runner.last_run.executed == 3
+
+
+class TestSweepFailureSemantics:
+    """A crashed sweep must not discard or forget its siblings' work."""
+
+    def test_serial_failure_identifies_the_task(self, tmp_path):
+        runner = SweepRunner(cache=ResultCache(root=tmp_path))
+        tasks = [{"x": x} for x in range(6)]
+        with pytest.raises(ValueError) as excinfo:
+            runner.map(_fail_on_three, tasks)
+        assert excinfo.value.task_index == 3
+        assert excinfo.value.task_kwargs == {"x": 3}
+
+    def test_serial_failure_caches_completed_predecessors(self, tmp_path):
+        runner = SweepRunner(cache=ResultCache(root=tmp_path))
+        with pytest.raises(ValueError):
+            runner.map(_fail_on_three, [{"x": x} for x in range(6)])
+        # Tasks 0..2 finished before the crash; a resume must not replay
+        # them.
+        resumed = SweepRunner(cache=ResultCache(root=tmp_path))
+        assert resumed.map(_fail_on_three,
+                           [{"x": x} for x in range(3)]) == [0, 1, 4]
+        assert resumed.last_run.cache_hits == 3
+        assert resumed.last_run.executed == 0
+
+    def test_parallel_failure_caches_all_completed_siblings(self, tmp_path):
+        # Regression: one failing future used to abandon every sibling
+        # result — even the ones that had already completed successfully.
+        runner = SweepRunner(jobs=3, cache=ResultCache(root=tmp_path))
+        tasks = [{"x": x} for x in range(6)]
+        with pytest.raises(ValueError) as excinfo:
+            runner.map(_fail_on_three, tasks)
+        assert excinfo.value.task_index == 3
+        assert excinfo.value.task_kwargs == {"x": 3}
+        survivors = [{"x": x} for x in (0, 1, 2, 4, 5)]
+        resumed = SweepRunner(cache=ResultCache(root=tmp_path))
+        assert resumed.map(_fail_on_three,
+                           survivors) == [0, 1, 4, 16, 25]
+        assert resumed.last_run.cache_hits == 5
+        assert resumed.last_run.executed == 0
+
+    def test_failure_without_cache_still_annotates(self):
+        with pytest.raises(ValueError) as excinfo:
+            SweepRunner().map(_fail_on_three, [{"x": 3}])
+        assert excinfo.value.task_index == 0
+        assert excinfo.value.task_kwargs == {"x": 3}
 
 
 class TestExperimentDeterminism:
