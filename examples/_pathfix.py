@@ -1,0 +1,18 @@
+"""Make ``python examples/<name>.py`` work without installing the package.
+
+Each example starts with ``import _pathfix`` (this module lives next to
+them, so the script directory on ``sys.path`` finds it).  If ``repro``
+is already importable — installed via ``pip install -e .`` or exposed
+through ``PYTHONPATH`` — this is a no-op; otherwise the repository's
+``src/`` directory is prepended to ``sys.path``.
+"""
+
+import os
+import sys
+
+try:
+    import repro  # noqa: F401  (probe only)
+except ModuleNotFoundError:
+    _SRC = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    sys.path.insert(0, _SRC)

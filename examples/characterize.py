@@ -19,6 +19,8 @@ Run::
 
 import numpy as np
 
+import _pathfix  # noqa: F401  (sys.path setup for uninstalled runs)
+
 from repro.analysis import experiments as ex
 from repro.isa import IClass
 

@@ -14,6 +14,8 @@ Run::
     python examples/exfiltrate_key.py
 """
 
+import _pathfix  # noqa: F401  (sys.path setup for uninstalled runs)
+
 from repro import System, cannon_lake_i3_8121u
 from repro.core import CRC8, Hamming74, IccCoresCovert
 from repro.core.ecc import deinterleave, interleave

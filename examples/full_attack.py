@@ -20,6 +20,8 @@ Run::
     python examples/full_attack.py
 """
 
+import _pathfix  # noqa: F401  (sys.path setup for uninstalled runs)
+
 from repro import System, SystemOptions, cannon_lake_i3_8121u
 from repro.core import (
     ChannelConfig,

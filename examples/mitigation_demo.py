@@ -13,6 +13,8 @@ Run::
     python examples/mitigation_demo.py
 """
 
+import _pathfix  # noqa: F401  (sys.path setup for uninstalled runs)
+
 from repro.mitigations import Mitigation, evaluate_all
 from repro.soc.config import cannon_lake_i3_8121u
 

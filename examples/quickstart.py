@@ -11,6 +11,8 @@ Run::
     python examples/quickstart.py
 """
 
+import _pathfix  # noqa: F401  (sys.path setup for uninstalled runs)
+
 from repro import System, cannon_lake_i3_8121u
 from repro.core import IccCoresCovert, IccSMTcovert, IccThreadCovert
 

@@ -4,8 +4,12 @@ Transfers a message over each of the three IChannels on a simulated
 Cannon Lake part and prints the decoded payloads — the fastest way to
 see the reproduction work.  ``--jobs N`` runs the three transfers on a
 process pool and ``--cache-dir PATH`` caches their results (see
-:mod:`repro.runner`); the demo output is identical either way.  For the
-full paper regeneration use ``python -m repro.analysis.report``.
+:mod:`repro.runner`); the demo output is identical either way.
+``--faults SPEC`` attaches fault models from :mod:`repro.faults` (try
+``--faults default``) and ``--adaptive`` routes each message through
+the adaptive session — together they demo the resilience story from
+docs/FAULTS.md.  For the full paper regeneration use
+``python -m repro.analysis.report``.
 """
 
 from __future__ import annotations
@@ -15,7 +19,10 @@ import sys
 from typing import Optional, Sequence, Tuple
 
 from repro import System, cannon_lake_i3_8121u
+from repro.core import AdaptiveConfig, CovertSession, SessionConfig
 from repro.core import IccCoresCovert, IccSMTcovert, IccThreadCovert
+from repro.errors import CalibrationError, ConfigError, ProtocolError
+from repro.faults import parse_fault_spec
 from repro.obs import Tracer, tracing, write_chrome_trace, write_metrics_json
 from repro.runner import ResultCache, SweepRunner
 
@@ -26,11 +33,32 @@ _DEMO_CHANNELS = {
 }
 
 
-def _demo_transfer(channel_name: str,
-                   message: bytes) -> Tuple[bytes, float, float]:
-    """One demo transfer: (received, ber, throughput_bps)."""
+def _demo_transfer(channel_name: str, message: bytes,
+                   fault_spec: str = "",
+                   adaptive: bool = False) -> Tuple[bytes, float, float]:
+    """One demo transfer: (received, ber, throughput_bps).
+
+    With a non-empty ``fault_spec`` the named fault models are attached
+    before the transfer; ``adaptive`` routes the message through the
+    adaptive :class:`CovertSession` instead of a bare transfer.
+    """
     system = System(cannon_lake_i3_8121u())
-    report = _DEMO_CHANNELS[channel_name](system).transfer(message)
+    if fault_spec:
+        parse_fault_spec(fault_spec).attach(system)
+    channel = _DEMO_CHANNELS[channel_name](system)
+    if adaptive:
+        session = CovertSession(channel, SessionConfig(
+            max_retries=8, adaptive=AdaptiveConfig()))
+        try:
+            report = session.send(message)
+        except (CalibrationError, ProtocolError):
+            return b"", 1.0, 0.0
+        received = report.delivered if report.ok else report.best_effort
+        return received, report.residual_ber, report.goodput_bps
+    try:
+        report = channel.transfer(message)
+    except (CalibrationError, ProtocolError):
+        return b"", 1.0, 0.0
     return report.received, report.ber, report.throughput_bps
 
 
@@ -51,9 +79,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--metrics", default=None, metavar="PATH",
         help="write counters and latency histograms as JSON to PATH")
+    parser.add_argument(
+        "--faults", default="", metavar="SPEC",
+        help="inject faults, e.g. 'default' or "
+             "'slot-jitter:sigma_us=2;rail-jitter' (see docs/FAULTS.md)")
+    parser.add_argument(
+        "--adaptive", action="store_true",
+        help="send through the adaptive session (re-calibration, "
+             "backoff, two-level degradation) instead of bare transfers")
     args = parser.parse_args(list(argv) if argv is not None else [])
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.faults:
+        try:
+            injector = parse_fault_spec(args.faults)
+        except ConfigError as exc:
+            parser.error(f"--faults: {exc}")
+        print(f"faults: {injector.describe()}")
     if (args.trace or args.metrics) and args.jobs > 1:
         # Spans are recorded in-process; pool workers would trace into
         # their own (discarded) tracers.  Keep the observed run honest.
@@ -76,16 +118,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     tracer: Optional[Tracer] = None
     if args.trace or args.metrics:
         tracer = Tracer(events=args.trace is not None)
+    tasks = [
+        dict(channel_name=name, message=message, fault_spec=args.faults,
+             adaptive=args.adaptive)
+        for _, name in labels
+    ]
     if tracer is not None:
         with tracing(tracer):
-            results = runner.map(_demo_transfer, [
-                dict(channel_name=name, message=message)
-                for _, name in labels
-            ])
+            results = runner.map(_demo_transfer, tasks)
     else:
-        results = runner.map(_demo_transfer, [
-            dict(channel_name=name, message=message) for _, name in labels
-        ])
+        results = runner.map(_demo_transfer, tasks)
     failures = 0
     for (label, _), (received, ber, bps) in zip(labels, results):
         ok = received == message

@@ -28,13 +28,17 @@ from typing import Dict, Generator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core import (
+    AdaptiveConfig,
+    CovertSession,
     IccCoresCovert,
     IccSMTcovert,
     IccThreadCovert,
+    SessionConfig,
 )
 from repro.core.baselines import DFSCovert, NetSpectreGadget, PowerT, TurboCC
 from repro.core.channel import ChannelConfig, CovertChannel
-from repro.errors import ConfigError
+from repro.errors import CalibrationError, ConfigError, ProtocolError
+from repro.faults import parse_fault_spec
 from repro.isa.instructions import IClass
 from repro.isa.workload import Loop, calculix_like_trace, uniform_loop
 from repro.measure.daq import DAQCard
@@ -999,4 +1003,171 @@ def multi_pair_interference(payload: bytes = b"\x5a\x3c\xc3\x0f",
         ber_aligned=run_pairs(0.0),
         ber_offset=run_pairs(0.5),
         ber_solo=solo_report.ber,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Resilience under fault injection (docs/FAULTS.md)
+# ---------------------------------------------------------------------------
+
+#: Channel constructors the resilience sweep knows how to build.
+RESILIENCE_CHANNELS: Dict[str, type] = {
+    "thread": IccThreadCovert,
+    "smt": IccSMTcovert,
+    "cores": IccCoresCovert,
+}
+
+#: Mitigation stacks compared by the resilience sweep, weakest first.
+RESILIENCE_MITIGATIONS: Tuple[str, ...] = ("none", "arq", "adaptive")
+
+
+@dataclass
+class ResiliencePoint:
+    """One (channel, intensity, mitigation) cell of the resilience sweep."""
+
+    channel: str
+    intensity: float
+    mitigation: str
+    residual_ber: float
+    raw_ber: float
+    goodput_bps: float
+    delivered_fraction: float
+    attempts: float
+    recalibrations: float
+    degraded_fraction: float
+
+
+@dataclass
+class ResilienceResult:
+    """BER/goodput vs fault intensity, per channel, per mitigation."""
+
+    payload_bytes: int
+    trials: int
+    intensities: Tuple[float, ...]
+    channels: Tuple[str, ...]
+    mitigations: Tuple[str, ...]
+    points: List[ResiliencePoint]
+
+    def cell(self, channel: str, intensity: float,
+             mitigation: str) -> ResiliencePoint:
+        """The unique point at the given sweep coordinates."""
+        for point in self.points:
+            if (point.channel == channel and point.mitigation == mitigation
+                    and abs(point.intensity - intensity) < 1e-12):
+                return point
+        raise ConfigError(
+            f"no resilience point at ({channel!r}, {intensity}, "
+            f"{mitigation!r})")
+
+
+def _resilience_trial(channel_name: str, mitigation: str, intensity: float,
+                      payload: bytes, seed: int) -> Dict[str, float]:
+    """One transfer of ``payload`` under the default fault suite.
+
+    Returns plain floats so the result is picklable and cacheable.  The
+    fault suite is rebuilt from its spec string inside the trial — spec
+    strings, not injector objects, are the currency shipped to worker
+    processes.
+    """
+    system = System(cannon_lake_i3_8121u(), seed=2021)
+    if intensity > 0.0:
+        injector = parse_fault_spec(
+            f"default:intensity={intensity},seed={seed}")
+        injector.attach(system)
+    channel = RESILIENCE_CHANNELS[channel_name](system)
+
+    if mitigation == "none":
+        # Bare channel: one calibrated transfer, no framing, no FEC.
+        try:
+            report = channel.transfer(payload)
+        except (CalibrationError, ProtocolError):
+            return dict(residual_ber=1.0, raw_ber=1.0, goodput_bps=0.0,
+                        delivered=0.0, attempts=1.0, recalibrations=0.0,
+                        degraded=0.0)
+        delivered = float(report.received == payload)
+        return dict(residual_ber=report.ber, raw_ber=report.ber,
+                    goodput_bps=report.goodput_bps if delivered else 0.0,
+                    delivered=delivered, attempts=1.0, recalibrations=0.0,
+                    degraded=0.0)
+
+    adaptive = AdaptiveConfig() if mitigation == "adaptive" else None
+    config = SessionConfig(max_retries=8, adaptive=adaptive)
+    session = CovertSession(channel, config)
+    try:
+        report = session.send(payload)
+    except (CalibrationError, ProtocolError):
+        return dict(residual_ber=1.0, raw_ber=1.0, goodput_bps=0.0,
+                    delivered=0.0, attempts=1.0, recalibrations=0.0,
+                    degraded=0.0)
+    raw_bers = [b for f in report.frames for b in f.raw_ber_per_attempt]
+    return dict(
+        residual_ber=report.residual_ber,
+        raw_ber=float(np.mean(raw_bers)) if raw_bers else 0.0,
+        goodput_bps=report.goodput_bps,
+        delivered=float(report.ok),
+        attempts=float(report.total_attempts),
+        recalibrations=float(report.recalibrations),
+        degraded=float(report.degraded),
+    )
+
+
+def resilience_sweep(
+        payload: bytes = b"\x5a\x0f\xc3\x3c\xa5\x69\x96\x0a",
+        intensities: Sequence[float] = (0.0, 0.5, 1.0, 1.5, 2.0),
+        channels: Sequence[str] = ("cores",),
+        mitigations: Sequence[str] = RESILIENCE_MITIGATIONS,
+        trials: int = 2,
+        seed: int = 1701,
+        runner: Optional[SweepRunner] = None) -> ResilienceResult:
+    """Channel resilience vs fault intensity, per mitigation stack.
+
+    Sweeps the default fault suite's intensity across the requested
+    channels and compares three stacks: the bare channel (``none``), the
+    framed ARQ session (``arq``), and the adaptive session with drift
+    re-calibration, backoff, and two-level degradation (``adaptive``).
+    Every trial's seed is derived only from its sweep coordinates, so a
+    parallel cached run returns exactly what a serial run would.
+    """
+    for name in channels:
+        if name not in RESILIENCE_CHANNELS:
+            raise ConfigError(
+                f"unknown channel {name!r}; choose from "
+                f"{sorted(RESILIENCE_CHANNELS)}")
+    for name in mitigations:
+        if name not in RESILIENCE_MITIGATIONS:
+            raise ConfigError(
+                f"unknown mitigation {name!r}; choose from "
+                f"{list(RESILIENCE_MITIGATIONS)}")
+    if trials < 1:
+        raise ConfigError(f"trials must be >= 1, got {trials}")
+    runner = runner if runner is not None else SweepRunner()
+    coords = [(c, m, x) for c in channels for m in mitigations
+              for x in intensities]
+    tasks = [
+        dict(channel_name=c, mitigation=m, intensity=x, payload=payload,
+             seed=seed + 7919 * t + int(round(1000 * x)))
+        for (c, m, x) in coords for t in range(trials)
+    ]
+    rows = runner.map(_resilience_trial, tasks)
+    points: List[ResiliencePoint] = []
+    for i, (c, m, x) in enumerate(coords):
+        cell = rows[i * trials:(i + 1) * trials]
+        points.append(ResiliencePoint(
+            channel=c, intensity=float(x), mitigation=m,
+            residual_ber=float(np.mean([r["residual_ber"] for r in cell])),
+            raw_ber=float(np.mean([r["raw_ber"] for r in cell])),
+            goodput_bps=float(np.mean([r["goodput_bps"] for r in cell])),
+            delivered_fraction=float(np.mean([r["delivered"] for r in cell])),
+            attempts=float(np.mean([r["attempts"] for r in cell])),
+            recalibrations=float(
+                np.mean([r["recalibrations"] for r in cell])),
+            degraded_fraction=float(np.mean([r["degraded"] for r in cell])),
+        ))
+    return ResilienceResult(
+        payload_bytes=len(payload),
+        trials=trials,
+        intensities=tuple(float(x) for x in intensities),
+        channels=tuple(channels),
+        mitigations=tuple(mitigations),
+        points=points,
     )

@@ -131,6 +131,23 @@ def export_fig14(result: "ex.Fig14Result", out_dir: str) -> "list[str]":
                    ["noise_kind", "rate_per_s", "ber"], rows)]
 
 
+def export_resilience(result: "ex.ResilienceResult",
+                      out_dir: str) -> "list[str]":
+    """The fault-resilience sweep, one row per sweep cell."""
+    rows = [
+        [p.channel, p.intensity, p.mitigation, p.residual_ber, p.raw_ber,
+         p.goodput_bps, p.delivered_fraction, p.attempts, p.recalibrations,
+         p.degraded_fraction]
+        for p in result.points
+    ]
+    return [_write(
+        os.path.join(out_dir, "resilience_ber.csv"),
+        ["channel", "intensity", "mitigation", "residual_ber", "raw_ber",
+         "goodput_bps", "delivered_fraction", "attempts", "recalibrations",
+         "degraded_fraction"],
+        rows)]
+
+
 def export_all(out_dir: str, quick: bool = True) -> "list[str]":
     """Run every exportable experiment and write its CSVs."""
     os.makedirs(out_dir, exist_ok=True)
@@ -144,6 +161,8 @@ def export_all(out_dir: str, quick: bool = True) -> "list[str]":
     paths += export_fig13(ex.fig13_level_distribution(), out_dir)
     paths += export_fig14(
         ex.fig14_noise_sensitivity(trials=2 if quick else 3), out_dir)
+    paths += export_resilience(
+        ex.resilience_sweep(trials=1 if quick else 3), out_dir)
     return paths
 
 

@@ -14,6 +14,7 @@ loop, decoded by measuring multi-level throttling periods with ``rdtsc``.
 
 from repro.core.levels import (
     ChannelLocation,
+    ROBUST_SYMBOLS,
     SYMBOL_BITS,
     SYMBOL_CLASSES,
     PROBE_CLASSES,
@@ -21,14 +22,20 @@ from repro.core.levels import (
 )
 from repro.core.encoding import bits_to_bytes, bytes_to_bits, bytes_to_symbols, symbols_to_bytes
 from repro.core.calibration import Calibrator, LevelStats
-from repro.core.sync import SlotSchedule
+from repro.core.sync import JitteredSchedule, PerturbedSchedule, SlotSchedule
 from repro.core.channel import ChannelConfig, CovertChannel, TransferReport
 from repro.core.thread_channel import IccThreadCovert
 from repro.core.smt_channel import IccSMTcovert
 from repro.core.cores_channel import IccCoresCovert
 from repro.core.broadcast import BroadcastReport, IccBroadcast
 from repro.core.burst_channel import BurstReport, IccSMTBurst
-from repro.core.session import CovertSession, FecScheme, SessionConfig, SessionReport
+from repro.core.session import (
+    AdaptiveConfig,
+    CovertSession,
+    FecScheme,
+    SessionConfig,
+    SessionReport,
+)
 from repro.core.five_level import FiveLevelReport, FiveLevelThreadChannel
 from repro.core.capacity import (
     binary_symmetric_capacity,
@@ -43,7 +50,11 @@ from repro.core.side_channel import (
 )
 
 __all__ = [
+    "AdaptiveConfig",
     "ChannelLocation",
+    "JitteredSchedule",
+    "PerturbedSchedule",
+    "ROBUST_SYMBOLS",
     "SYMBOL_BITS",
     "SYMBOL_CLASSES",
     "PROBE_CLASSES",

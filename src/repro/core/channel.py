@@ -18,12 +18,20 @@ from dataclasses import dataclass, field
 from typing import ClassVar, List, Optional, Sequence
 
 from repro.core.calibration import Calibrator
-from repro.core.encoding import bytes_to_symbols, symbols_to_bytes
+from repro.core.encoding import (
+    bits_to_bytes,
+    bytes_to_bits,
+    bytes_to_symbols,
+    symbols_to_bytes,
+)
 from repro.core.levels import (
     ChannelLocation,
+    ROBUST_SYMBOLS,
     SYMBOL_BITS,
+    bit_for_robust_symbol,
     narrow_symbol_classes,
     probe_class_for,
+    robust_symbol_for_bit,
 )
 from repro.core.sync import JitteredSchedule, SlotSchedule
 from repro.errors import ProtocolError
@@ -101,12 +109,15 @@ class TransferReport:
     end_ns: float
     location: ChannelLocation
     retraining: bool = False
+    #: Bits each transaction carried: :data:`SYMBOL_BITS` for the full
+    #: four-level ladder, 1 for degraded two-level signalling.
+    bits_per_symbol: int = SYMBOL_BITS
     meta: dict = field(default_factory=dict)
 
     @property
     def bits(self) -> int:
         """Payload bits transferred."""
-        return len(self.symbols_sent) * SYMBOL_BITS
+        return len(self.symbols_sent) * self.bits_per_symbol
 
     @property
     def elapsed_ns(self) -> float:
@@ -122,10 +133,16 @@ class TransferReport:
         silently dropped tail must not *lower* the reported BER.
         """
         wrong = 0
-        for a, b in zip(self.symbols_sent, self.symbols_received):
-            wrong += bin((a ^ b) & 0b11).count("1")
-        wrong += SYMBOL_BITS * abs(len(self.symbols_sent)
-                                   - len(self.symbols_received))
+        if self.bits_per_symbol == SYMBOL_BITS:
+            for a, b in zip(self.symbols_sent, self.symbols_received):
+                wrong += bin((a ^ b) & 0b11).count("1")
+        else:
+            # Degraded signalling: each symbol carries one bit, so any
+            # symbol mismatch is exactly one bit error.
+            for a, b in zip(self.symbols_sent, self.symbols_received):
+                wrong += int(a != b)
+        wrong += self.bits_per_symbol * abs(len(self.symbols_sent)
+                                            - len(self.symbols_received))
         return wrong
 
     @property
@@ -160,6 +177,7 @@ class CovertChannel(abc.ABC):
         self.symbol_classes = narrow_symbol_classes(max_bits)
         self.probe_class = probe_class_for(self.location, max_bits)
         self._calibrator: Optional[Calibrator] = None
+        self._calibrated_symbols: "tuple[int, ...]" = ()
 
     # -- subclass hooks ------------------------------------------------------
 
@@ -289,6 +307,28 @@ class CovertChannel(abc.ABC):
         needed = reset_ns + send_window + us_to_ns(10.0)
         return max(us_to_ns(self.config.slot_us), needed)
 
+    def party_schedule(self, schedule: SlotSchedule,
+                       party: str) -> SlotSchedule:
+        """``party``'s view of ``schedule`` under any scheduling faults.
+
+        With no injector attached (``system.faults`` unset) this is the
+        shared schedule itself; under a ``slot-jitter`` fault each party
+        gets independently delayed slot entries.  Subclasses route their
+        sender/receiver programs through this so faults act on the seam
+        without the channels importing the fault layer.
+        """
+        faults = getattr(self.system, "faults", None)
+        if faults is None:
+            return schedule
+        return faults.perturb_schedule(schedule, party)
+
+    def _fault_slack_ns(self) -> float:
+        """Extra run time scheduling faults may push the last probe by."""
+        faults = getattr(self.system, "faults", None)
+        if faults is None:
+            return 0.0
+        return faults.extra_slot_slack_ns()
+
     def _fresh_schedule(self, n_slots: int) -> SlotSchedule:
         """A slot schedule starting one quiet slot from now.
 
@@ -312,7 +352,8 @@ class CovertChannel(abc.ABC):
         schedule = self._fresh_schedule(len(symbols))
         measurements: List[Optional[float]] = [None] * len(symbols)
         self._spawn_transaction_programs(schedule, list(symbols), measurements)
-        end = schedule.slot_start(len(symbols)) + self.slot_ns
+        end = (schedule.slot_start(len(symbols)) + self.slot_ns
+               + self._fault_slack_ns())
         self.system.run_until(end)
         missing = [i for i, m in enumerate(measurements) if m is None]
         tracer = _obs()
@@ -344,17 +385,30 @@ class CovertChannel(abc.ABC):
 
     # -- calibration -------------------------------------------------------------
 
-    def calibrate(self) -> Calibrator:
-        """Learn decode thresholds by sending known training symbols."""
+    def calibrate(self, symbols: Optional[Sequence[int]] = None) -> Calibrator:
+        """Learn decode thresholds by sending known training symbols.
+
+        ``symbols`` restricts training to a subset of the ladder — the
+        degraded two-level mode calibrates on
+        :data:`~repro.core.levels.ROBUST_SYMBOLS` only, which both
+        shortens training and widens every decision margin.
+        """
+        levels = sorted(self.symbol_classes if symbols is None else symbols)
+        for symbol in levels:
+            if symbol not in self.symbol_classes:
+                raise ProtocolError(f"symbol must be 0..3, got {symbol}")
+        if len(levels) < 2:
+            raise ProtocolError("calibration needs at least two levels")
         training_symbols: List[int] = []
         for _ in range(self.config.training_rounds):
-            training_symbols.extend(sorted(self.symbol_classes))
+            training_symbols.extend(levels)
         start = self.system.now
         readings = self.run_symbols(training_symbols)
         self._calibrator = Calibrator(
             list(zip(training_symbols, readings)),
             min_gap=self.config.min_level_gap_tsc,
         )
+        self._calibrated_symbols = tuple(levels)
         tracer = _obs()
         if tracer.enabled:
             tracer.metrics.counter("channel.calibrations").inc()
@@ -362,6 +416,7 @@ class CovertChannel(abc.ABC):
                 "channel.calibrate", "channel", start, self.system.now - start,
                 track="channel",
                 args={"rounds": self.config.training_rounds,
+                      "levels": len(levels),
                       "training_symbols": len(training_symbols)},
             )
         return self._calibrator
@@ -378,7 +433,8 @@ class CovertChannel(abc.ABC):
         if not payload:
             raise ProtocolError("payload is empty")
         retrained = False
-        if self._calibrator is None:
+        full_ladder = tuple(sorted(self.symbol_classes))
+        if self._calibrator is None or self._calibrated_symbols != full_ladder:
             self.calibrate()
             retrained = True
         assert self._calibrator is not None
@@ -408,6 +464,62 @@ class CovertChannel(abc.ABC):
             tracer.metrics.histogram("channel.transfer_ber").observe(report.ber)
             tracer.complete(
                 "channel.transfer", "channel", start, report.elapsed_ns,
+                track="channel",
+                args={"bytes": len(payload), "bits": report.bits,
+                      "bit_errors": report.bit_errors,
+                      "ber": round(report.ber, 6),
+                      "location": self.location.name,
+                      "retrained": retrained},
+            )
+        return report
+
+    def transfer_robust(self, payload: bytes) -> TransferReport:
+        """Send ``payload`` with degraded two-level signalling.
+
+        One bit per transaction using only the ladder's extreme levels
+        (:data:`~repro.core.levels.ROBUST_SYMBOLS`): half the rate of
+        :meth:`transfer`, but the decision margin grows to the full
+        spread of the ladder — the adaptive session's graceful
+        degradation when the four-level SNR collapses under faults.
+        Calibrates (on the two robust levels only) when needed.
+        """
+        if not payload:
+            raise ProtocolError("payload is empty")
+        retrained = False
+        if (self._calibrator is None
+                or self._calibrated_symbols != ROBUST_SYMBOLS):
+            self.calibrate(symbols=ROBUST_SYMBOLS)
+            retrained = True
+        assert self._calibrator is not None
+        symbols = [robust_symbol_for_bit(bit)
+                   for bit in bytes_to_bits(payload)]
+        start = self.system.now
+        readings = self.run_symbols(symbols)
+        decoded = self._calibrator.decode_all(readings)
+        if len(decoded) != len(symbols):
+            raise ProtocolError(
+                f"receiver decoded {len(decoded)} symbols for "
+                f"{len(symbols)} sent; the slot streams diverged"
+            )
+        received = bits_to_bytes([bit_for_robust_symbol(s) for s in decoded])
+        report = TransferReport(
+            sent=payload,
+            received=received,
+            symbols_sent=symbols,
+            symbols_received=decoded,
+            measurements_tsc=readings,
+            start_ns=start,
+            end_ns=self.system.now,
+            location=self.location,
+            retraining=retrained,
+            bits_per_symbol=1,
+        )
+        tracer = _obs()
+        if tracer.enabled:
+            tracer.metrics.counter("channel.transfers_robust").inc()
+            tracer.metrics.histogram("channel.transfer_ber").observe(report.ber)
+            tracer.complete(
+                "channel.transfer_robust", "channel", start, report.elapsed_ns,
                 track="channel",
                 args={"bytes": len(payload), "bits": report.bits,
                       "bit_errors": report.bit_errors,

@@ -42,6 +42,37 @@ SYMBOL_CLASSES: Dict[int, IClass] = {
 #: Paper-style level names per symbol.
 LEVEL_NAMES: Dict[int, str] = {0b00: "L1", 0b01: "L2", 0b10: "L3", 0b11: "L4"}
 
+#: The two maximally-separated symbols (lowest and highest level) used
+#: by degraded two-level signalling: one bit per transaction, decided by
+#: the widest decision margin the ladder offers.  Under collapsing SNR
+#: the adaptive session falls back to these (see docs/FAULTS.md).
+ROBUST_SYMBOLS = (0b00, 0b11)
+
+#: Bits carried per transaction in degraded two-level mode.
+ROBUST_SYMBOL_BITS = 1
+
+
+def robust_symbol_for_bit(bit: int) -> int:
+    """The two-level symbol encoding one ``bit``."""
+    if bit not in (0, 1):
+        raise ConfigError(f"bit must be 0 or 1, got {bit}")
+    return ROBUST_SYMBOLS[bit]
+
+
+def bit_for_robust_symbol(symbol: int) -> int:
+    """Inverse of :func:`robust_symbol_for_bit` (tolerant decode).
+
+    A decoder trained only on the two robust levels can only emit those
+    symbols; anything else means the calibrator was fit on the full
+    ladder, which is a programming error worth surfacing.
+    """
+    try:
+        return ROBUST_SYMBOLS.index(symbol)
+    except ValueError:
+        raise ConfigError(
+            f"symbol {symbol} is not a robust level; expected one of "
+            f"{ROBUST_SYMBOLS}") from None
+
 
 @enum.unique
 class ChannelLocation(enum.Enum):

@@ -57,9 +57,12 @@ class IccSMTcovert(CovertChannel):
     def _spawn_transaction_programs(self, schedule: SlotSchedule,
                                     symbols: Sequence[int],
                                     measurements: List[Optional[float]]) -> None:
-        self.system.spawn(self._sender_program(schedule, symbols),
-                          name="icc_smt_sender")
         self.system.spawn(
-            self._receiver_program(schedule, len(symbols), measurements),
+            self._sender_program(self.party_schedule(schedule, "sender"),
+                                 symbols),
+            name="icc_smt_sender")
+        self.system.spawn(
+            self._receiver_program(self.party_schedule(schedule, "receiver"),
+                                   len(symbols), measurements),
             name="icc_smt_receiver",
         )

@@ -112,3 +112,65 @@ class JitteredSchedule(SlotSchedule):
     def slot_start(self, index: int) -> float:
         """Jittered start of slot ``index``."""
         return super().slot_start(index) + self._offset(index)
+
+
+@dataclass(frozen=True)
+class PerturbedSchedule(SlotSchedule):
+    """A schedule whose party sees *uncoordinated* per-slot delays.
+
+    Unlike :class:`JitteredSchedule` — where both parties compute the
+    same offsets from a shared seed — a perturbed schedule models what
+    an adversary does **not** control: scheduler wake-up latency that
+    delays one party's slot entry independently of the other's.  The
+    fault-injection layer (:mod:`repro.faults`) wraps each party's view
+    of the shared schedule in one of these with a party-specific salt,
+    so the sender and the receiver drift apart and symbols smear across
+    slot boundaries.
+
+    Delays are half-normal (``|N(0, sigma)|``), capped at ``cap_ns`` and
+    always non-negative — the OS can wake a task late, never early.
+    Indexing (:meth:`slot_index_at`) follows the unperturbed base
+    schedule: the party is late *into* its nominal slot, the slot grid
+    itself does not move.
+    """
+
+    base: SlotSchedule = None  # type: ignore[assignment]
+    sigma_ns: float = 0.0
+    cap_ns: float = 0.0
+    salt: tuple = ()
+    _delays: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.base is None:
+            raise ProtocolError("PerturbedSchedule needs a base schedule")
+        if self.sigma_ns < 0 or self.cap_ns < 0:
+            raise ProtocolError("delay sigma and cap must be >= 0")
+
+    @classmethod
+    def wrap(cls, base: SlotSchedule, sigma_ns: float, cap_ns: float,
+             salt: tuple) -> "PerturbedSchedule":
+        """Wrap ``base`` keeping its epoch/slot for shared arithmetic."""
+        return cls(epoch_ns=base.epoch_ns, slot_ns=base.slot_ns, base=base,
+                   sigma_ns=sigma_ns, cap_ns=cap_ns, salt=tuple(salt))
+
+    def delay(self, index: int) -> float:
+        """This party's wake-up delay entering slot ``index``."""
+        cached = self._delays.get(index)
+        if cached is None:
+            rng = np.random.default_rng(self.salt + (index,))
+            cached = min(self.cap_ns, abs(float(rng.normal(0.0, self.sigma_ns))))
+            self._delays[index] = cached
+        return cached
+
+    def slot_start(self, index: int) -> float:
+        """Delayed start of slot ``index`` as this party experiences it."""
+        return self.base.slot_start(index) + self.delay(index)
+
+    def slot_index_at(self, t_ns: float) -> int:
+        """Index on the *unperturbed* grid (the slots themselves don't move)."""
+        return self.base.slot_index_at(t_ns)
+
+    def next_slot_after(self, t_ns: float) -> int:
+        """First unperturbed slot starting strictly after ``t_ns``."""
+        return self.base.next_slot_after(t_ns)

@@ -48,5 +48,9 @@ class IccThreadCovert(CovertChannel):
     def _spawn_transaction_programs(self, schedule: SlotSchedule,
                                     symbols: Sequence[int],
                                     measurements: List[Optional[float]]) -> None:
-        self.system.spawn(self._program(schedule, symbols, measurements),
-                          name="icc_thread_covert")
+        # Sender and receiver share the hardware thread, so scheduling
+        # faults delay the single program as one party.
+        self.system.spawn(
+            self._program(self.party_schedule(schedule, "sender"),
+                          symbols, measurements),
+            name="icc_thread_covert")

@@ -1,0 +1,52 @@
+"""Deterministic fault injection for the IChannels simulator.
+
+The covert channels of the paper only matter if they survive a hostile
+substrate — OS scheduling jitter, competing DVFS requests, instrument
+noise, drifting clocks.  This package perturbs the simulation at
+well-defined seams so that robustness is measurable instead of assumed:
+
+* :class:`FaultModel` — one deterministic, seedable perturbation;
+* concrete models: :class:`RailVoltageJitter`, :class:`SampleDropout`,
+  :class:`GrantQueueInterference`, :class:`ThermalDriftRamp`,
+  :class:`ReceiverClockSkew`, :class:`SlotScheduleJitter`;
+* :class:`FaultInjector` — composes models and attaches them to a
+  :class:`~repro.soc.system.System` (then visible as ``system.faults``);
+* :func:`parse_fault_spec` / :func:`default_fault_suite` — the
+  ``"name:key=value;..."`` string form used by ``python -m repro
+  --faults``, the resilience sweep and the benchmarks.
+
+See ``docs/FAULTS.md`` for every model's parameters and the adaptive
+session machinery (:mod:`repro.core.session`) built to survive them.
+"""
+
+from repro.faults.base import FaultModel
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    GrantQueueInterference,
+    RailVoltageJitter,
+    ReceiverClockSkew,
+    SampleDropout,
+    SlotScheduleJitter,
+    ThermalDriftRamp,
+)
+from repro.faults.spec import (
+    FAULT_MODELS,
+    default_fault_suite,
+    fault_model_names,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "FAULT_MODELS",
+    "FaultInjector",
+    "FaultModel",
+    "GrantQueueInterference",
+    "RailVoltageJitter",
+    "ReceiverClockSkew",
+    "SampleDropout",
+    "SlotScheduleJitter",
+    "ThermalDriftRamp",
+    "default_fault_suite",
+    "fault_model_names",
+    "parse_fault_spec",
+]

@@ -1,0 +1,333 @@
+"""The concrete fault models, one per simulation seam.
+
+Every model perturbs exactly one well-defined seam:
+
+===================  =========================================================
+model                seam
+===================  =========================================================
+``rail-jitter``      DAQ sample values (:meth:`repro.measure.daq.DAQCard.sample`)
+``dropout``          DAQ sample values (dropped samples hold their last value)
+``grant-interference`` the central PMU's serialized grant queue
+``thermal-drift``    the RC thermal model's ambient reference
+``clock-skew``       the system TSC the receiver times probes with
+``slot-jitter``      each party's view of the shared slot schedule
+===================  =========================================================
+
+The first two corrupt *measurements* of the simulation; the middle two
+perturb slow *environment* state; the last two attack the channel's own
+*timing assumptions* and are the dominant BER contributors the adaptive
+session (:mod:`repro.core.session`) has to survive.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, Optional
+
+import numpy as np
+
+from repro.core.sync import PerturbedSchedule, SlotSchedule
+from repro.errors import ConfigError
+from repro.faults.base import SEED_SPACE, FaultModel, _salt_int
+from repro.isa.instructions import IClass
+from repro.microarch.tsc import DriftingTimestampCounter
+from repro.units import ms_to_ns, us_to_ns
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.faults.injector import FaultInjector
+    from repro.soc.system import System
+
+
+class RailVoltageJitter(FaultModel):
+    """Extra Gaussian noise on every DAQ-sampled rail series.
+
+    Models supply ripple and probe pickup beyond the instrument's own
+    noise floor: each :meth:`~repro.measure.daq.DAQCard.sample` call gets
+    independent ``N(0, sigma_mv * intensity)`` millivolts added per
+    sample.  Affects rail-trace detectors and figure pipelines, not the
+    TSC-based channel receivers.
+    """
+
+    name = "rail-jitter"
+    perturbs_measurements = True
+
+    def __init__(self, sigma_mv: float = 2.0,
+                 intensity: float = 1.0, seed: int = 0) -> None:
+        super().__init__(intensity, seed)
+        if sigma_mv < 0:
+            raise ConfigError(f"sigma_mv must be >= 0, got {sigma_mv}")
+        self.sigma_mv = float(sigma_mv)
+        self._calls = 0
+
+    def params(self) -> Dict[str, float]:
+        """Magnitude knobs (``sigma_mv``)."""
+        return {"sigma_mv": self.sigma_mv}
+
+    def attach(self, system: "System", injector: "FaultInjector") -> None:
+        """No event-driven state; sampling pulls from this model lazily."""
+
+    def perturb_samples(self, name: str, times: np.ndarray,
+                        values: np.ndarray) -> np.ndarray:
+        """Add per-sample Gaussian jitter to one sampled series."""
+        sigma = self.sigma_mv * 1e-3 * self.intensity
+        if sigma <= 0 or len(values) == 0:
+            return values
+        self._calls += 1
+        rng = self.rng(name, self._calls)
+        self.events += len(values)
+        return values + rng.normal(0.0, sigma, len(values))
+
+
+class SampleDropout(FaultModel):
+    """Random DAQ samples replaced by the last good value.
+
+    Models conversion glitches and bus stalls: each sample is dropped
+    with probability ``probability * intensity``; a dropped sample
+    repeats the previous sample (zero-order hold), as a real acquisition
+    pipeline's stale buffer would.
+    """
+
+    name = "dropout"
+    perturbs_measurements = True
+
+    def __init__(self, probability: float = 0.01,
+                 intensity: float = 1.0, seed: int = 0) -> None:
+        super().__init__(intensity, seed)
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigError(f"probability must be in [0, 1], got {probability}")
+        self.probability = float(probability)
+        self._calls = 0
+
+    def params(self) -> Dict[str, float]:
+        """Magnitude knobs (``probability``)."""
+        return {"probability": self.probability}
+
+    def attach(self, system: "System", injector: "FaultInjector") -> None:
+        """No event-driven state; sampling pulls from this model lazily."""
+
+    def perturb_samples(self, name: str, times: np.ndarray,
+                        values: np.ndarray) -> np.ndarray:
+        """Drop samples (hold the previous value) at the configured rate."""
+        p = min(1.0, self.probability * self.intensity)
+        if p <= 0 or len(values) < 2:
+            return values
+        self._calls += 1
+        rng = self.rng(name, self._calls)
+        dropped = rng.random(len(values)) < p
+        dropped[0] = False  # nothing earlier to hold
+        if not dropped.any():
+            return values
+        self.events += int(dropped.sum())
+        out = np.array(values, copy=True)
+        # Zero-order hold: each dropped sample takes the most recent kept
+        # value; np.maximum.accumulate over kept indices finds it in O(n).
+        idx = np.arange(len(out))
+        idx[dropped] = 0
+        idx = np.maximum.accumulate(idx)
+        return out[idx]
+
+
+class GrantQueueInterference(FaultModel):
+    """A phantom co-runner issuing competing guardband transitions.
+
+    Models the paper's dominant practical noise source (Section 6.3): a
+    concurrent application whose PHIs enter the central PMU's serialized
+    grant queue.  At Poisson times (``burst_rate_per_s * intensity``)
+    the model raises a guardband request for a random channel-grade PHI
+    class on ``core``, holds it for ``hold_us``, then releases it — each
+    burst can delay the covert pair's own transitions and extend their
+    throttling periods, exactly like a noisy neighbour.
+
+    ``core`` defaults to the highest-numbered core, which on a two-core
+    part is the receiver's core — the worst case for the channel.
+    """
+
+    name = "grant-interference"
+
+    #: PHI classes the phantom co-runner draws from (clipped to the
+    #: part's vector width at attach time).
+    BURST_CLASSES = (IClass.HEAVY_128, IClass.LIGHT_256,
+                     IClass.HEAVY_256, IClass.HEAVY_512)
+
+    def __init__(self, burst_rate_per_s: float = 300.0, hold_us: float = 120.0,
+                 core: Optional[int] = None, horizon_ms: float = 5000.0,
+                 intensity: float = 1.0, seed: int = 0) -> None:
+        super().__init__(intensity, seed)
+        if burst_rate_per_s < 0:
+            raise ConfigError(f"burst rate must be >= 0, got {burst_rate_per_s}")
+        if hold_us <= 0:
+            raise ConfigError(f"hold time must be positive, got {hold_us}")
+        if horizon_ms <= 0:
+            raise ConfigError(f"horizon must be positive, got {horizon_ms}")
+        self.burst_rate_per_s = float(burst_rate_per_s)
+        self.hold_us = float(hold_us)
+        self.core = core
+        self.horizon_ms = float(horizon_ms)
+
+    def params(self) -> Dict[str, float]:
+        """Magnitude knobs (rate, hold time, horizon)."""
+        knobs = {"burst_rate_per_s": self.burst_rate_per_s,
+                 "hold_us": self.hold_us, "horizon_ms": self.horizon_ms}
+        if self.core is not None:
+            knobs["core"] = self.core
+        return knobs
+
+    def _process(self, system: "System", core: int) -> Generator:
+        rng = self.rng("bursts")
+        rate = self.burst_rate_per_s * self.intensity
+        classes = [c for c in self.BURST_CLASSES
+                   if c.width_bits <= system.config.max_vector_bits]
+        horizon = ms_to_ns(self.horizon_ms)
+        mean_gap_ns = 1e9 / rate
+        while system.now < horizon:
+            yield system.sleep(float(rng.exponential(mean_gap_ns)))
+            if system.now >= horizon:
+                break
+            iclass = classes[int(rng.integers(len(classes)))]
+            system.pmu.request_up(core, iclass)
+            self.events += 1
+            yield system.sleep(us_to_ns(self.hold_us))
+            system.pmu.request_down(core, IClass.SCALAR_64)
+
+    def attach(self, system: "System", injector: "FaultInjector") -> None:
+        """Spawn the phantom co-runner process (bounded by the horizon)."""
+        if self.intensity <= 0 or self.burst_rate_per_s <= 0:
+            return
+        core = self.core if self.core is not None else system.config.n_cores - 1
+        if not 0 <= core < system.config.n_cores:
+            raise ConfigError(f"no such core for interference: {core}")
+        system.spawn(self._process(system, core),
+                     name=f"fault_grant_interference_c{core}")
+
+
+class ThermalDriftRamp(FaultModel):
+    """A slowly warming enclosure drifting the ambient reference.
+
+    Ramps :attr:`~repro.pmu.thermal.ThermalModel.ambient_offset_c` at
+    ``rate_c_per_s * intensity`` until ``max_drift_c`` is reached,
+    stepping every ``step_us``.  The junction temperature trace shifts
+    accordingly; current-management throttling does **not** (the paper's
+    Key Conclusion 2 — the throttles under study are current-driven, not
+    thermal), so this model perturbs the observability plane only and
+    lets experiments prove that negative under drift.
+    """
+
+    name = "thermal-drift"
+
+    def __init__(self, rate_c_per_s: float = 2.0, max_drift_c: float = 10.0,
+                 step_us: float = 500.0,
+                 intensity: float = 1.0, seed: int = 0) -> None:
+        super().__init__(intensity, seed)
+        if rate_c_per_s < 0:
+            raise ConfigError(f"drift rate must be >= 0, got {rate_c_per_s}")
+        if max_drift_c < 0:
+            raise ConfigError(f"max drift must be >= 0, got {max_drift_c}")
+        if step_us <= 0:
+            raise ConfigError(f"step must be positive, got {step_us}")
+        self.rate_c_per_s = float(rate_c_per_s)
+        self.max_drift_c = float(max_drift_c)
+        self.step_us = float(step_us)
+
+    def params(self) -> Dict[str, float]:
+        """Magnitude knobs (rate, ceiling, step)."""
+        return {"rate_c_per_s": self.rate_c_per_s,
+                "max_drift_c": self.max_drift_c, "step_us": self.step_us}
+
+    def _process(self, system: "System") -> Generator:
+        rate = self.rate_c_per_s * self.intensity
+        step_c = rate * self.step_us * 1e-6
+        offset = 0.0
+        while offset < self.max_drift_c:
+            yield system.sleep(us_to_ns(self.step_us))
+            offset = min(self.max_drift_c, offset + step_c)
+            system.thermal.set_ambient_offset(system.now, offset)
+            self.events += 1
+
+    def attach(self, system: "System", injector: "FaultInjector") -> None:
+        """Spawn the ramp process (self-terminates at ``max_drift_c``)."""
+        if self.intensity <= 0 or self.rate_c_per_s <= 0 or self.max_drift_c <= 0:
+            return
+        system.spawn(self._process(system), name="fault_thermal_drift")
+
+
+class ReceiverClockSkew(FaultModel):
+    """TSC frequency error growing over the run.
+
+    Replaces the system's invariant TSC with a
+    :class:`~repro.microarch.tsc.DriftingTimestampCounter`: measured
+    probe intervals stretch by ``skew_ppm`` parts per million plus
+    ``drift_ppm_per_s`` more each second (both scaled by intensity).
+    Calibrated decode thresholds therefore go stale mid-transfer — the
+    fault the adaptive session's drift re-calibration exists to fix.
+    """
+
+    name = "clock-skew"
+
+    def __init__(self, skew_ppm: float = 200.0, drift_ppm_per_s: float = 2000.0,
+                 intensity: float = 1.0, seed: int = 0) -> None:
+        super().__init__(intensity, seed)
+        self.skew_ppm = float(skew_ppm)
+        self.drift_ppm_per_s = float(drift_ppm_per_s)
+
+    def params(self) -> Dict[str, float]:
+        """Magnitude knobs (initial skew, drift rate, both in ppm)."""
+        return {"skew_ppm": self.skew_ppm,
+                "drift_ppm_per_s": self.drift_ppm_per_s}
+
+    def attach(self, system: "System", injector: "FaultInjector") -> None:
+        """Swap the system TSC for a drifting one."""
+        if self.intensity <= 0:
+            return
+        system.tsc = DriftingTimestampCounter(
+            tsc_ghz=system.tsc.tsc_ghz,
+            skew=self.skew_ppm * 1e-6 * self.intensity,
+            drift_per_s=self.drift_ppm_per_s * 1e-6 * self.intensity,
+        )
+        self.events += 1
+
+
+class SlotScheduleJitter(FaultModel):
+    """OS wake-up latency desynchronising the two parties.
+
+    Wraps each party's view of the shared slot schedule in a
+    :class:`~repro.core.sync.PerturbedSchedule` with a party-specific
+    salt: sender and receiver each enter slot ``i`` late by independent
+    half-normal delays (``sigma_us * intensity``, capped at ``cap_us``).
+    Misaligned entries let the receiver probe before the sender's
+    transition, or let a late sender encroach on the reset-time — the
+    symbol-smearing errors real schedulers inflict on the attack.
+    """
+
+    name = "slot-jitter"
+    perturbs_schedule = True
+
+    def __init__(self, sigma_us: float = 1.5, cap_us: float = 10.0,
+                 intensity: float = 1.0, seed: int = 0) -> None:
+        super().__init__(intensity, seed)
+        if sigma_us < 0 or cap_us < 0:
+            raise ConfigError("sigma_us and cap_us must be >= 0")
+        self.sigma_us = float(sigma_us)
+        self.cap_us = float(cap_us)
+
+    def params(self) -> Dict[str, float]:
+        """Magnitude knobs (delay sigma and cap, microseconds)."""
+        return {"sigma_us": self.sigma_us, "cap_us": self.cap_us}
+
+    def attach(self, system: "System", injector: "FaultInjector") -> None:
+        """No event-driven state; channels pull perturbed schedules lazily."""
+
+    @property
+    def max_delay_ns(self) -> float:
+        """Worst-case per-slot delay, for slot-slack budgeting."""
+        return us_to_ns(self.cap_us) if self.intensity > 0 else 0.0
+
+    def perturb_schedule(self, schedule: SlotSchedule,
+                         party: str) -> SlotSchedule:
+        """One party's delayed view of ``schedule``."""
+        sigma_ns = us_to_ns(self.sigma_us * self.intensity)
+        if sigma_ns <= 0:
+            return schedule
+        self.events += 1
+        salt = (SEED_SPACE, self.seed, _salt_int(self.name), _salt_int(party),
+                int(schedule.epoch_ns))
+        return PerturbedSchedule.wrap(schedule, sigma_ns=sigma_ns,
+                                      cap_ns=us_to_ns(self.cap_us), salt=salt)

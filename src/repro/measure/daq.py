@@ -78,7 +78,13 @@ class DAQSpec:
 class DAQCard:
     """Samples signal callables (or signal sources) over a time span."""
 
-    def __init__(self, spec: DAQSpec = DAQSpec(), seed: int = 6376) -> None:
+    def __init__(self, spec: DAQSpec = DAQSpec(), seed: int = 6376,
+                 faults: Optional[object] = None) -> None:
+        #: Optional fault injector whose measurement models corrupt the
+        #: sampled series (see :meth:`repro.faults.FaultInjector.attach_daq`).
+        #: Duck-typed — anything with ``perturb_samples(name, times,
+        #: values)`` — so this layer never imports the fault layer above.
+        self.faults = faults
         self.spec = spec
         self._rng = np.random.default_rng(seed)
         self.sampler = TraceSampler()
@@ -108,4 +114,6 @@ class DAQCard:
         if self.spec.noise_rms > 0:
             values = values + self._rng.normal(0.0, self.spec.noise_rms,
                                                len(times))
+        if self.faults is not None:
+            values = self.faults.perturb_samples(name, times, values)
         return SampleSeries(times, values, name=name)

@@ -134,6 +134,7 @@ class _Segment:
     v_end: float
 
     def voltage_at(self, t_ns: float) -> float:
+        """Linear interpolation inside the span, clamped at its ends."""
         if self.t_end <= self.t_start:
             return self.v_end
         frac = (t_ns - self.t_start) / (self.t_end - self.t_start)

@@ -57,6 +57,10 @@ class ThermalModel:
 
     spec: ThermalSpec
     temperature_c: float = field(default=0.0)
+    #: Drift of the ambient/heatsink reference away from the spec value
+    #: (degC); raised by the ``thermal-drift`` fault model to simulate a
+    #: warming enclosure.  Steady-state temperature shifts with it.
+    ambient_offset_c: float = field(default=0.0)
     _last_update_ns: float = field(default=0.0)
     _power_w: float = field(default=0.0)
 
@@ -76,7 +80,8 @@ class ThermalModel:
         if power_w < 0:
             raise ConfigError(f"power must be >= 0, got {power_w}")
         dt_s = ns_to_s(now_ns - self._last_update_ns)
-        steady = self.spec.t_ambient_c + self._power_w * self.spec.r_th_c_per_w
+        steady = (self.spec.t_ambient_c + self.ambient_offset_c
+                  + self._power_w * self.spec.r_th_c_per_w)
         decay = math.exp(-dt_s / self.spec.tau_s)
         self.temperature_c = steady + (self.temperature_c - steady) * decay
         self._last_update_ns = now_ns
@@ -86,6 +91,16 @@ class ThermalModel:
     def read(self, now_ns: float) -> float:
         """Junction temperature at ``now_ns`` without changing the power."""
         return self.advance(now_ns, self._power_w)
+
+    def set_ambient_offset(self, now_ns: float, offset_c: float) -> None:
+        """Shift the ambient reference by ``offset_c`` from ``now_ns`` on.
+
+        Integrates up to ``now_ns`` under the old ambient first, so the
+        junction relaxes toward the new steady state with the normal
+        ``tau`` rather than jumping.
+        """
+        self.advance(now_ns, self._power_w)
+        self.ambient_offset_c = float(offset_c)
 
     def is_throttling(self, now_ns: float) -> bool:
         """True when the junction is at or above ``Tj_max``."""

@@ -198,6 +198,10 @@ class System:
         self.engine = Engine()
         self.rng = np.random.default_rng(seed)
         self.tsc = TimestampCounter(config.base_freq_ghz)
+        #: Fault injector attached to this system, if any.  Set by
+        #: :meth:`repro.faults.FaultInjector.attach`; layers below the
+        #: fault subsystem (channels, schedules) consult it duck-typed.
+        self.faults: Optional[object] = None
 
         if governor is not None and governor_freq_ghz is not None:
             raise ConfigError(

@@ -11,7 +11,8 @@ import repro
 PACKAGES = [
     "repro", "repro.isa", "repro.pdn", "repro.pmu", "repro.microarch",
     "repro.soc", "repro.measure", "repro.core", "repro.core.baselines",
-    "repro.mitigations", "repro.analysis", "repro.runner",
+    "repro.mitigations", "repro.analysis", "repro.runner", "repro.faults",
+    "repro.obs",
 ]
 
 

@@ -7,8 +7,10 @@ import pytest
 from repro import System
 from repro.core import ChannelLocation, IccCoresCovert, IccSMTcovert, IccThreadCovert
 from repro.core.channel import TransferReport
+from repro.core.levels import ROBUST_SYMBOLS
 from repro.core.encoding import bytes_to_symbols
 from repro.core.session import (
+    AdaptiveConfig,
     CovertSession,
     FecScheme,
     SessionConfig,
@@ -207,3 +209,114 @@ class TestQuietSensing:
             SessionConfig(wait_for_quiet=True, quiet_patience=4))
         report = session.send(bytes(range(16)))
         assert report.ok
+
+
+class TestAdaptiveConfigValidation:
+    def test_defaults_valid(self):
+        config = AdaptiveConfig()
+        assert config.ber_window == 6
+        assert config.degraded_fec == FecScheme.REPETITION3
+
+    def test_window_and_bound_validated(self):
+        with pytest.raises(ProtocolError):
+            AdaptiveConfig(ber_window=0)
+        with pytest.raises(ProtocolError):
+            AdaptiveConfig(ber_bound=0.0)
+        with pytest.raises(ProtocolError):
+            AdaptiveConfig(ber_bound=1.0)
+        with pytest.raises(ProtocolError):
+            AdaptiveConfig(recalibration_budget=-1)
+        with pytest.raises(ProtocolError):
+            AdaptiveConfig(backoff_base_us=100.0, backoff_max_us=50.0)
+
+
+class TestRobustTransfer:
+    def test_round_trip_one_bit_per_symbol(self):
+        system = System(cannon_lake_i3_8121u())
+        report = IccThreadCovert(system).transfer_robust(b"\x5a\x3c")
+        assert report.received == b"\x5a\x3c"
+        assert report.bits_per_symbol == 1
+        assert len(report.symbols_sent) == 16
+        assert report.ber == 0.0
+
+    def test_robust_calibration_uses_two_levels(self):
+        system = System(cannon_lake_i3_8121u())
+        channel = IccThreadCovert(system)
+        channel.transfer_robust(b"\x42")
+        assert channel._calibrated_symbols == ROBUST_SYMBOLS
+
+
+class TestAdaptiveSession:
+    def test_clean_channel_never_adapts(self):
+        session = clean_session(adaptive=AdaptiveConfig())
+        report = session.send(bytes(range(12)))
+        assert report.ok
+        assert report.recalibrations == 0
+        assert not report.degraded
+        assert report.backoff_ns == 0.0
+        assert report.residual_ber == 0.0
+
+    def test_adaptive_identical_to_plain_when_clean(self):
+        plain = clean_session().send(b"\x5a\x3c\xc3\x0f")
+        adaptive = clean_session(adaptive=AdaptiveConfig()).send(
+            b"\x5a\x3c\xc3\x0f")
+        assert plain.delivered == adaptive.delivered
+        assert plain.total_attempts == adaptive.total_attempts
+
+    def test_backoff_waits_between_retries(self):
+        system = System(cannon_lake_i3_8121u(), seed=5)
+        from repro.faults import parse_fault_spec
+
+        parse_fault_spec("slot-jitter:seed=11").attach(system)
+        session = CovertSession(
+            IccCoresCovert(system),
+            SessionConfig(max_retries=8, adaptive=AdaptiveConfig()))
+        report = session.send(b"\x5a\x0f\xc3\x3c")
+        if report.retransmissions:
+            assert report.backoff_ns > 0.0
+
+    def test_degrades_under_persistent_faults(self):
+        system = System(cannon_lake_i3_8121u(), seed=5)
+        from repro.faults import parse_fault_spec
+
+        parse_fault_spec("slot-jitter:sigma_us=3,seed=11").attach(system)
+        session = CovertSession(
+            IccCoresCovert(system),
+            SessionConfig(max_retries=8, adaptive=AdaptiveConfig(
+                ber_window=2, ber_bound=0.02, recalibration_budget=1)))
+        report = session.send(b"\x5a\x0f\xc3\x3c\xa5\x69\x96\x0a")
+        assert report.degraded
+        assert any(f.degraded for f in report.frames)
+
+    def test_adaptive_beats_plain_arq_under_default_suite(self):
+        from repro.faults import parse_fault_spec
+
+        payload = b"\x5a\x0f\xc3\x3c\xa5\x69\x96\x0a"
+
+        def run(adaptive):
+            system = System(cannon_lake_i3_8121u(), seed=2021)
+            parse_fault_spec("default:seed=2701").attach(system)
+            config = SessionConfig(
+                max_retries=8,
+                adaptive=AdaptiveConfig() if adaptive else None)
+            return CovertSession(IccCoresCovert(system), config).send(payload)
+
+        plain = run(adaptive=False)
+        resilient = run(adaptive=True)
+        assert not plain.ok and plain.residual_ber > 1e-1
+        assert resilient.ok and resilient.residual_ber <= 1e-2
+        assert resilient.recalibrations > 0 or resilient.degraded
+
+    def test_best_effort_assembly_on_failure(self):
+        system = System(cannon_lake_i3_8121u(), seed=5)
+        from repro.faults import parse_fault_spec
+
+        parse_fault_spec("slot-jitter:sigma_us=4,seed=3").attach(system)
+        session = CovertSession(
+            IccCoresCovert(system),
+            SessionConfig(max_retries=0))
+        payload = b"\x5a\x0f\xc3\x3c"
+        report = session.send(payload)
+        if not report.ok:
+            assert len(report.best_effort) == len(payload)
+            assert 0.0 < report.residual_ber <= 1.0

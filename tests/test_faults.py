@@ -1,0 +1,318 @@
+"""Unit tests for the fault-injection subsystem (`repro.faults`).
+
+Covers the determinism contract (seeded streams, bit-identical
+replays), each model's seam behaviour, the injector's wiring rules,
+spec-string parsing, and the end-to-end guarantees the resilience
+experiment relies on: intensity 0 is a perfect no-op, and the default
+suite actually damages the cross-channel transfers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import System, cannon_lake_i3_8121u
+from repro.core import IccCoresCovert, IccThreadCovert, PerturbedSchedule, SlotSchedule
+from repro.errors import CalibrationError, ConfigError
+from repro.faults import (
+    FaultInjector,
+    GrantQueueInterference,
+    RailVoltageJitter,
+    ReceiverClockSkew,
+    SampleDropout,
+    SlotScheduleJitter,
+    ThermalDriftRamp,
+    default_fault_suite,
+    fault_model_names,
+    parse_fault_spec,
+)
+from repro.microarch.tsc import DriftingTimestampCounter
+from repro.units import us_to_ns
+
+
+def fresh_system(seed=2021):
+    """A Cannon Lake system, the resilience experiments' default part."""
+    return System(cannon_lake_i3_8121u(), seed=seed)
+
+
+class TestBaseContract:
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ConfigError):
+            RailVoltageJitter(intensity=-0.1)
+
+    def test_rng_streams_are_deterministic(self):
+        a = RailVoltageJitter(seed=7).rng("x", 1)
+        b = RailVoltageJitter(seed=7).rng("x", 1)
+        assert a.random(4).tolist() == b.random(4).tolist()
+
+    def test_rng_streams_differ_by_seed_and_salt(self):
+        base = RailVoltageJitter(seed=7).rng("x", 1).random(4).tolist()
+        assert RailVoltageJitter(seed=8).rng("x", 1).random(4).tolist() != base
+        assert RailVoltageJitter(seed=7).rng("x", 2).random(4).tolist() != base
+
+    def test_rng_streams_differ_across_models(self):
+        jitter = RailVoltageJitter(seed=7).rng("s").random(4).tolist()
+        dropout = SampleDropout(seed=7).rng("s").random(4).tolist()
+        assert jitter != dropout
+
+    def test_describe_round_trips_through_parser(self):
+        model = SlotScheduleJitter(sigma_us=2.5, cap_us=8.0,
+                                   intensity=1.5, seed=3)
+        injector = parse_fault_spec(model.describe())
+        assert injector.describe() == model.describe()
+
+
+class TestRailVoltageJitter:
+    def test_adds_noise_of_configured_sigma(self):
+        model = RailVoltageJitter(sigma_mv=5.0, seed=1)
+        values = np.zeros(4000)
+        out = model.perturb_samples("rail0", np.arange(4000.0), values)
+        assert out.std() == pytest.approx(5e-3, rel=0.1)
+        assert model.events == 4000
+
+    def test_intensity_zero_is_identity(self):
+        model = RailVoltageJitter(sigma_mv=5.0, intensity=0.0)
+        values = np.ones(16)
+        out = model.perturb_samples("rail0", np.arange(16.0), values)
+        assert out is values
+        assert model.events == 0
+
+    def test_fresh_model_replays_identically(self):
+        def run():
+            model = RailVoltageJitter(sigma_mv=2.0, seed=5)
+            first = model.perturb_samples("r", np.arange(8.0), np.zeros(8))
+            second = model.perturb_samples("r", np.arange(8.0), np.zeros(8))
+            return first, second
+
+        (a1, a2), (b1, b2) = run(), run()
+        assert a1.tolist() == b1.tolist()
+        assert a2.tolist() == b2.tolist()
+        # successive calls draw fresh noise, not the same vector
+        assert a1.tolist() != a2.tolist()
+
+
+class TestSampleDropout:
+    def test_certain_dropout_holds_first_value(self):
+        model = SampleDropout(probability=1.0, seed=0)
+        values = np.array([3.0, 4.0, 5.0, 6.0])
+        out = model.perturb_samples("r", np.arange(4.0), values)
+        assert out.tolist() == [3.0, 3.0, 3.0, 3.0]
+
+    def test_dropped_samples_hold_last_kept_value(self):
+        model = SampleDropout(probability=0.4, seed=2)
+        values = np.arange(200.0)
+        out = model.perturb_samples("r", np.arange(200.0), values)
+        assert model.events > 0
+        kept = out == values
+        assert kept[0]
+        # every output value is some input value at an index <= its own
+        for i in range(1, len(out)):
+            assert out[i] <= values[i]
+            assert out[i] in values[:i + 1]
+
+    def test_probability_validated(self):
+        with pytest.raises(ConfigError):
+            SampleDropout(probability=1.5)
+
+
+class TestPerturbedSchedule:
+    def test_delays_are_capped_and_non_negative(self):
+        base = SlotSchedule(epoch_ns=1000.0, slot_ns=750_000.0)
+        sched = PerturbedSchedule.wrap(base, sigma_ns=us_to_ns(30.0),
+                                       cap_ns=us_to_ns(50.0), salt=(1, 2))
+        delays = [sched.delay(i) for i in range(200)]
+        assert all(0.0 <= d <= us_to_ns(50.0) for d in delays)
+        assert max(delays) > 0.0
+
+    def test_same_salt_same_delays_different_salt_different(self):
+        base = SlotSchedule(epoch_ns=0.0, slot_ns=750_000.0)
+        a = PerturbedSchedule.wrap(base, 1000.0, 5000.0, salt=(1,))
+        b = PerturbedSchedule.wrap(base, 1000.0, 5000.0, salt=(1,))
+        c = PerturbedSchedule.wrap(base, 1000.0, 5000.0, salt=(2,))
+        assert [a.delay(i) for i in range(8)] == [b.delay(i) for i in range(8)]
+        assert [a.delay(i) for i in range(8)] != [c.delay(i) for i in range(8)]
+
+    def test_indexing_follows_unperturbed_grid(self):
+        base = SlotSchedule(epoch_ns=0.0, slot_ns=1000.0)
+        sched = PerturbedSchedule.wrap(base, 200.0, 900.0, salt=(3,))
+        for i in range(5):
+            assert sched.slot_start(i) >= base.slot_start(i)
+            assert sched.slot_index_at(base.slot_start(i) + 1.0) == i
+        assert sched.next_slot_after(2500.0) == base.next_slot_after(2500.0)
+
+
+class TestDriftingTsc:
+    def test_positive_skew_runs_fast(self):
+        nominal = fresh_system().tsc
+        fast = DriftingTimestampCounter(tsc_ghz=nominal.tsc_ghz, skew=1e-3)
+        t = 1e6
+        assert fast.read(t) > nominal.read(t)
+
+    def test_drift_grows_over_time(self):
+        tsc = DriftingTimestampCounter(tsc_ghz=2.0, skew=0.0,
+                                       drift_per_s=1e-2)
+        early = tsc.read(1e6) - 2.0 * 1e6
+        late = tsc.read(2e9) - 2.0 * 2e9
+        assert late > early
+
+    def test_guards(self):
+        with pytest.raises(ConfigError):
+            DriftingTimestampCounter(tsc_ghz=2.0, skew=-1.5)
+        with pytest.raises(ConfigError):
+            DriftingTimestampCounter(tsc_ghz=2.0).read(-1.0)
+
+
+class TestInjectorWiring:
+    def test_attach_registers_on_system(self):
+        system = fresh_system()
+        injector = FaultInjector([SlotScheduleJitter()]).attach(system)
+        assert system.faults is injector
+
+    def test_attach_twice_rejected(self):
+        system = fresh_system()
+        injector = FaultInjector([SlotScheduleJitter()]).attach(system)
+        with pytest.raises(ConfigError):
+            injector.attach(fresh_system())
+        with pytest.raises(ConfigError):
+            FaultInjector([SlotScheduleJitter()]).attach(system)
+
+    def test_clock_skew_swaps_the_tsc(self):
+        system = fresh_system()
+        FaultInjector([ReceiverClockSkew()]).attach(system)
+        assert isinstance(system.tsc, DriftingTimestampCounter)
+
+    def test_slot_slack_budget(self):
+        measurement_only = FaultInjector([RailVoltageJitter()])
+        assert measurement_only.extra_slot_slack_ns() == 0.0
+        jittery = FaultInjector([SlotScheduleJitter(cap_us=10.0),
+                                 SlotScheduleJitter(cap_us=5.0)])
+        assert jittery.extra_slot_slack_ns() == us_to_ns(15.0)
+
+    def test_perturb_samples_respects_model_kind(self):
+        injector = FaultInjector([SlotScheduleJitter(),
+                                  RailVoltageJitter(sigma_mv=3.0)])
+        out = injector.perturb_samples("r", np.arange(64.0), np.zeros(64))
+        assert out.std() > 0.0
+        counts = injector.event_counts()
+        assert counts["rail-jitter"] == 64
+        assert counts["slot-jitter"] == 0
+
+    def test_non_model_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultInjector([object()])
+
+    def test_attach_daq_routes_samples(self):
+        system = fresh_system()
+        injector = FaultInjector([RailVoltageJitter(sigma_mv=5.0)])
+        injector.attach(system)
+        system.run_until(us_to_ns(50.0))
+        from repro.measure.daq import DAQCard, DAQSpec
+
+        daq = DAQCard(DAQSpec())
+        injector.attach_daq(daq)
+        clean = DAQCard(DAQSpec()).sample(
+            system.vcc_signal(0), 0.0, us_to_ns(40.0), 1e6, name="rail0")
+        noisy = daq.sample(
+            system.vcc_signal(0), 0.0, us_to_ns(40.0), 1e6, name="rail0")
+        assert noisy.values.tolist() != clean.values.tolist()
+
+
+class TestSpecParsing:
+    def test_default_alias_builds_whole_suite(self):
+        injector = parse_fault_spec("default")
+        assert len(injector.models) == len(default_fault_suite())
+
+    def test_default_intensity_and_seed_forwarded(self):
+        injector = parse_fault_spec("default:intensity=1.5,seed=9")
+        assert all(m.intensity == 1.5 and m.seed == 9
+                   for m in injector.models)
+
+    def test_default_rejects_model_knobs(self):
+        with pytest.raises(ConfigError):
+            parse_fault_spec("default:sigma_us=2")
+
+    def test_multi_clause_spec(self):
+        injector = parse_fault_spec(
+            "slot-jitter:sigma_us=2;rail-jitter:sigma_mv=1,intensity=2")
+        assert [m.name for m in injector.models] == ["slot-jitter",
+                                                     "rail-jitter"]
+        assert injector.models[1].intensity == 2.0
+
+    def test_unknown_model_lists_names(self):
+        with pytest.raises(ConfigError, match="slot-jitter"):
+            parse_fault_spec("bogus")
+
+    def test_malformed_knob_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_fault_spec("slot-jitter:sigma_us")
+        with pytest.raises(ConfigError):
+            parse_fault_spec("slot-jitter:sigma_us=abc")
+        with pytest.raises(ConfigError):
+            parse_fault_spec("rail-jitter:bogus_knob=2")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_fault_spec("")
+        with pytest.raises(ConfigError):
+            parse_fault_spec(";;")
+
+    def test_int_knobs_coerced(self):
+        injector = parse_fault_spec("grant-interference:core=1,seed=4")
+        model = injector.models[0]
+        assert model.core == 1 and isinstance(model.core, int)
+        assert model.seed == 4 and isinstance(model.seed, int)
+
+    def test_names_listing(self):
+        names = fault_model_names()
+        assert "default" in names
+        assert "slot-jitter" in names
+
+
+class TestEndToEnd:
+    def test_intensity_zero_changes_nothing(self):
+        payload = b"\x5a\x3c"
+        baseline = IccCoresCovert(fresh_system()).transfer(payload)
+        system = fresh_system()
+        parse_fault_spec("default:intensity=0").attach(system)
+        faulted = IccCoresCovert(system).transfer(payload)
+        assert faulted.received == baseline.received
+        assert faulted.ber == baseline.ber == 0.0
+        assert faulted.throughput_bps == pytest.approx(
+            baseline.throughput_bps)
+
+    def test_default_suite_damages_cross_core_channel(self):
+        system = fresh_system()
+        parse_fault_spec("default:seed=11").attach(system)
+        try:
+            report = IccCoresCovert(system).transfer(
+                b"\x5a\x0f\xc3\x3c\xa5\x69\x96\x0a")
+        except CalibrationError:
+            return  # total desync is damage too
+        assert report.ber > 0.0
+
+    def test_thread_channel_immune_to_slot_jitter(self):
+        system = fresh_system()
+        parse_fault_spec("slot-jitter").attach(system)
+        report = IccThreadCovert(system).transfer(b"\x5a\x3c")
+        assert report.ber == 0.0
+
+    def test_fault_runs_replay_bit_identically(self):
+        def run():
+            system = fresh_system()
+            parse_fault_spec("default:seed=11").attach(system)
+            try:
+                return IccCoresCovert(system).transfer(b"\xa5\x3c").received
+            except CalibrationError:
+                return b"<calibration-error>"
+
+        assert run() == run()
+
+    def test_grant_interference_and_thermal_ramp_apply_events(self):
+        system = fresh_system()
+        injector = parse_fault_spec(
+            "grant-interference:burst_rate_per_s=2000,hold_us=40;"
+            "thermal-drift:rate_c_per_s=50,step_us=100").attach(system)
+        system.run_until(us_to_ns(3000.0))
+        counts = injector.event_counts()
+        assert counts["grant-interference"] > 0
+        assert counts["thermal-drift"] > 0
+        assert system.thermal.ambient_offset_c > 0.0
