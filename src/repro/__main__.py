@@ -65,6 +65,9 @@ def _demo_transfer(channel_name: str, message: bytes,
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the three channels end to end and print a one-line summary each."""
     parser = argparse.ArgumentParser(
+        epilog="Verification gate: python -m repro.verify "
+               "(goldens, determinism audit, lint; see docs/VERIFICATION.md). "
+               "Full paper regeneration: python -m repro.analysis.report.",
         prog="python -m repro",
         description="IChannels reproduction demo (three covert channels).")
     parser.add_argument(

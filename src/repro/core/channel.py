@@ -162,6 +162,29 @@ class TransferReport:
         """Throughput discounted by the bit error rate."""
         return self.throughput_bps * (1.0 - self.ber)
 
+    def fingerprint(self) -> dict:
+        """A digest-ready reduction of the transfer (plain JSON types).
+
+        Everything the golden-trace harness (:mod:`repro.verify`) pins
+        about a transfer: the payloads, the exact symbol streams, the
+        raw receiver measurements and the simulated start/end times.
+        Two transfers with equal fingerprints behaved identically at
+        every externally observable seam.
+        """
+        return {
+            "sent": self.sent.hex(),
+            "received": self.received.hex(),
+            "symbols_sent": list(self.symbols_sent),
+            "symbols_received": list(self.symbols_received),
+            "measurements_tsc": [float(m) for m in self.measurements_tsc],
+            "start_ns": float(self.start_ns),
+            "end_ns": float(self.end_ns),
+            "location": self.location.value,
+            "bits_per_symbol": int(self.bits_per_symbol),
+            "ber": self.ber,
+            "throughput_bps": self.throughput_bps,
+        }
+
 
 class CovertChannel(abc.ABC):
     """Common behaviour of IccThreadCovert / IccSMTcovert / IccCoresCovert."""

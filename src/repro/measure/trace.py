@@ -161,6 +161,37 @@ class SampleSeries:
         mask = (self.times_ns >= t0_ns) & (self.times_ns <= t1_ns)
         return SampleSeries(self.times_ns[mask], self.values[mask], name=self.name)
 
+    def fingerprint(self) -> dict:
+        """A compact, digest-ready summary of the series.
+
+        Large sampled grids are reduced to shape plus exact content
+        hashes and a handful of derived scalars, so the golden-trace
+        harness (:mod:`repro.verify`) can pin a multi-thousand-sample
+        DAQ capture without committing megabytes of floats: any change
+        to any sample changes ``values_sha256``, while the scalar
+        fields make a mismatch humanly readable.
+        """
+        import hashlib
+
+        def _sha(arr: np.ndarray) -> str:
+            return hashlib.sha256(
+                np.ascontiguousarray(arr, dtype="<f8").tobytes()).hexdigest()
+
+        values = np.asarray(self.values, dtype=float)
+        out = {
+            "name": self.name,
+            "samples": int(len(self)),
+            "times_sha256": _sha(np.asarray(self.times_ns, dtype=float)),
+            "values_sha256": _sha(values),
+        }
+        if len(self):
+            out.update(
+                first=float(values[0]), last=float(values[-1]),
+                min=float(values.min()), max=float(values.max()),
+                mean=float(values.mean()),
+            )
+        return out
+
 
 def merge_step_traces(traces: Sequence[StepTrace], t0_ns: float,
                       t1_ns: float) -> List[float]:

@@ -33,6 +33,7 @@ from repro.obs.export import (
     chrome_trace_dict,
     chrome_trace_events,
     metrics_dict,
+    metrics_fingerprint,
     validate_chrome_trace,
     write_chrome_trace,
     write_metrics_json,
@@ -59,6 +60,7 @@ __all__ = [
     "current",
     "install",
     "metrics_dict",
+    "metrics_fingerprint",
     "tracing",
     "validate_chrome_trace",
     "write_chrome_trace",

@@ -139,6 +139,46 @@ def metrics_dict(tracer: NullTracer) -> Dict:
     return tracer.metrics.snapshot()
 
 
+#: Metric-name prefixes excluded from :func:`metrics_fingerprint`: the
+#: runner's instruments depend on execution strategy (cache hits, pool
+#: size), not on what the simulation computed.
+VOLATILE_METRIC_PREFIXES = ("runner.", "cache.")
+
+#: Histogram-name markers identifying wall-clock (host time) data, which
+#: varies run to run even for identical simulations.
+WALL_CLOCK_MARKERS = ("_wall_", "wall_ms", "wall_ns")
+
+
+def metrics_fingerprint(tracer: NullTracer) -> Dict[str, Dict]:
+    """The *deterministic* slice of the metrics registry, digest-ready.
+
+    The golden-trace harness (:mod:`repro.verify`) digests metrics
+    alongside rail traces and transfer reports, so this hook keeps only
+    what a repeated identical simulation must reproduce exactly:
+
+    * counter values, minus the volatile prefixes above (runner/cache
+      instruments record *how* a sweep executed, not what it computed);
+    * histogram observation **counts** and simulation-time totals, but
+      never wall-clock histograms (host timings differ every run).
+
+    Everything returned is plain ``{str: int | float}`` JSON.
+    """
+    counters = {
+        name: counter.snapshot()
+        for name, counter in sorted(tracer.metrics.counters.items())
+        if not name.startswith(VOLATILE_METRIC_PREFIXES)
+    }
+    histograms: Dict[str, Dict] = {}
+    for name, histogram in sorted(tracer.metrics.histograms.items()):
+        if name.startswith(VOLATILE_METRIC_PREFIXES):
+            continue
+        if any(marker in name for marker in WALL_CLOCK_MARKERS):
+            continue
+        histograms[name] = {"count": histogram.count,
+                            "total": histogram.total}
+    return {"counters": counters, "histograms": histograms}
+
+
 def write_metrics_json(tracer: NullTracer, path: os.PathLike) -> Dict:
     """Write the metrics snapshot as JSON; returns the object."""
     snapshot = metrics_dict(tracer)

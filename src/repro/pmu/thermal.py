@@ -65,7 +65,10 @@ class ThermalModel:
     _power_w: float = field(default=0.0)
 
     def __post_init__(self) -> None:
-        if self.temperature_c == 0.0:
+        # Unset sentinel: an exact-zero start temperature means "begin at
+        # ambient".  Epsilon-compared — bare float equality on physical
+        # quantities is banned by repro.verify.lint (rule float-eq).
+        if abs(self.temperature_c) < 1e-12:
             self.temperature_c = self.spec.t_ambient_c
 
     def advance(self, now_ns: float, power_w: float) -> float:

@@ -21,7 +21,13 @@ Usage::
     result = fig8_throttling(trials=25, runner=runner)
 """
 
-from repro.runner.cache import CacheStats, ResultCache, code_version, task_key
+from repro.runner.cache import (
+    CacheStats,
+    ResultCache,
+    canonicalize,
+    code_version,
+    task_key,
+)
 from repro.runner.sweep import RunStats, SweepRunner
 
 __all__ = [
@@ -29,6 +35,7 @@ __all__ = [
     "ResultCache",
     "RunStats",
     "SweepRunner",
+    "canonicalize",
     "code_version",
     "task_key",
 ]

@@ -23,12 +23,15 @@ import dataclasses
 import enum
 import hashlib
 import json
+import math
 import os
 import pickle
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigError
 from repro.obs.tracer import current as _obs
@@ -63,14 +66,31 @@ def code_version() -> str:
     return _code_version
 
 
-def _canonical(obj: Any) -> Any:
-    """Reduce ``obj`` to a stable, JSON-serialisable form."""
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to a stable, JSON-serialisable form.
+
+    The reduction is the foundation of both content addressing (cache
+    keys) and the golden-trace digests of :mod:`repro.verify.digest`:
+    logically equal values canonicalise equally regardless of dict or
+    set ordering, and every float survives exactly (``json`` emits the
+    shortest round-tripping decimal, so no precision is lost).  Non-
+    finite floats and numpy arrays get tagged structured forms because
+    plain JSON cannot represent them.
+    """
     if obj is None or isinstance(obj, (bool, int, str)):
         return obj
     if isinstance(obj, float):
+        if math.isnan(obj):
+            return {"__float__": "nan"}
+        if math.isinf(obj):
+            return {"__float__": "inf" if obj > 0 else "-inf"}
         return float(obj)
     if isinstance(obj, bytes):
         return {"__bytes__": obj.hex()}
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": str(obj.dtype),
+                "shape": list(obj.shape),
+                "data": [canonicalize(v) for v in obj.reshape(-1).tolist()]}
     if isinstance(obj, enum.Enum):
         return {"__enum__": f"{type(obj).__module__}.{type(obj).__qualname__}",
                 "name": obj.name}
@@ -79,22 +99,27 @@ def _canonical(obj: Any) -> Any:
             "__dataclass__":
                 f"{type(obj).__module__}.{type(obj).__qualname__}",
             "fields": {
-                f.name: _canonical(getattr(obj, f.name))
+                f.name: canonicalize(getattr(obj, f.name))
                 for f in dataclasses.fields(obj)
             },
         }
     if isinstance(obj, Mapping):
-        items = [[_canonical(k), _canonical(v)] for k, v in obj.items()]
+        if all(isinstance(k, str) for k in obj):
+            # Str-keyed mappings stay plain objects (ordering is handled
+            # by sort_keys at serialisation time) so golden documents
+            # remain directly readable and diffable.
+            return {k: canonicalize(v) for k, v in obj.items()}
+        items = [[canonicalize(k), canonicalize(v)] for k, v in obj.items()]
         items.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
         return {"__mapping__": items}
     if isinstance(obj, (list, tuple)):
-        return [_canonical(v) for v in obj]
+        return [canonicalize(v) for v in obj]
     if isinstance(obj, (set, frozenset)):
-        members = [_canonical(v) for v in obj]
+        members = [canonicalize(v) for v in obj]
         members.sort(key=lambda v: json.dumps(v, sort_keys=True))
         return {"__set__": members}
     if hasattr(obj, "item") and callable(obj.item):  # numpy scalars
-        return _canonical(obj.item())
+        return canonicalize(obj.item())
     if callable(obj):
         return {"__callable__":
                 f"{getattr(obj, '__module__', '?')}."
@@ -110,7 +135,7 @@ def task_key(fn: Callable[..., Any], kwargs: Mapping[str, Any],
     payload = {
         "code": version if version is not None else code_version(),
         "fn": f"{fn.__module__}.{fn.__qualname__}",
-        "params": _canonical(dict(kwargs)),
+        "params": canonicalize(dict(kwargs)),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,0 +1,158 @@
+"""Determinism auditor: prove environment variations cannot move digests.
+
+The golden check pins *one* execution; the auditor pins the claim that
+the execution is the only one possible.  For every canonical scenario it
+recomputes the digest under deliberately hostile variations and fails on
+any divergence from the in-process baseline:
+
+* ``hashseed=0`` / ``hashseed=1`` — a fresh interpreter per run with a
+  different ``PYTHONHASHSEED``, catching anything that leaks set/dict
+  iteration order or ``hash()`` values into results;
+* ``jobs=2`` — a :class:`~repro.runner.SweepRunner` process pool,
+  catching order-dependence or worker-state leakage in the parallel
+  sweep path (scenarios that support a runner only);
+* ``cache=cold`` / ``cache=warm`` — the same runner backed by a
+  content-addressed :class:`~repro.runner.ResultCache`, first empty and
+  then fully populated, catching any difference between computing a
+  result and round-tripping it through the cache.
+
+Subprocess checks go through ``python -m repro.verify --compute NAME``,
+which prints exactly ``NAME <digest>`` and nothing else.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.runner import ResultCache, SweepRunner
+from repro.verify.scenarios import compute_digest, get_scenario, scenario_names
+
+#: ``PYTHONHASHSEED`` values the fresh-interpreter checks run under.
+HASH_SEEDS = ("0", "1")
+
+
+@dataclass(frozen=True)
+class AuditCheck:
+    """One scenario digest computed under one variation."""
+
+    scenario: str
+    variation: str
+    digest: str
+    baseline: str
+
+    @property
+    def ok(self) -> bool:
+        """True when the variation reproduced the baseline digest."""
+        return self.digest == self.baseline
+
+    def render(self) -> str:
+        """One report line for this check."""
+        mark = "ok      " if self.ok else "DIVERGED"
+        detail = self.digest[:16] if self.ok else (
+            f"{self.baseline[:16]} -> {self.digest[:16]}")
+        return f"  {mark} {self.scenario} [{self.variation}]  {detail}"
+
+
+@dataclass
+class AuditReport:
+    """All checks of one determinism audit."""
+
+    checks: List[AuditCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no variation diverged."""
+        return all(check.ok for check in self.checks)
+
+    @property
+    def divergences(self) -> List[AuditCheck]:
+        """The checks that diverged from their baseline."""
+        return [check for check in self.checks if not check.ok]
+
+    def render(self) -> str:
+        """Multi-line human-readable report."""
+        return "\n".join(check.render() for check in self.checks)
+
+
+def _subprocess_digest(name: str, hashseed: str) -> str:
+    """Digest of ``name`` computed in a fresh interpreter.
+
+    The child runs ``python -m repro.verify --compute name`` with the
+    requested ``PYTHONHASHSEED`` and a ``PYTHONPATH`` that resolves the
+    same ``repro`` sources as this process.
+    """
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = src_dir + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.verify", "--compute", name],
+        env=env, capture_output=True, text=True, check=True)
+    line = proc.stdout.strip().splitlines()[-1]
+    reported_name, digest = line.split()
+    assert reported_name == name, f"subprocess answered for {reported_name}"
+    return digest
+
+
+def audit_scenario(name: str, baseline: Optional[str] = None,
+                   subprocess_checks: bool = True) -> List[AuditCheck]:
+    """All variation checks for one scenario.
+
+    ``baseline`` (the trusted in-process digest) is computed when not
+    supplied.  ``subprocess_checks=False`` skips the fresh-interpreter
+    hash-seed runs — they re-import the world and dominate wall time, so
+    tests that only exercise the runner/cache variations can opt out.
+    """
+    scenario = get_scenario(name)
+    if baseline is None:
+        baseline = compute_digest(name)
+    checks: List[AuditCheck] = []
+    if subprocess_checks:
+        for seed in HASH_SEEDS:
+            checks.append(AuditCheck(
+                scenario=name, variation=f"hashseed={seed}",
+                digest=_subprocess_digest(name, seed), baseline=baseline))
+    if scenario.supports_runner:
+        checks.append(AuditCheck(
+            scenario=name, variation="jobs=2",
+            digest=compute_digest(name, runner=SweepRunner(jobs=2)),
+            baseline=baseline))
+        with tempfile.TemporaryDirectory(prefix="repro-audit-") as tmp:
+            cache = ResultCache(root=tmp)
+            checks.append(AuditCheck(
+                scenario=name, variation="cache=cold",
+                digest=compute_digest(name, runner=SweepRunner(jobs=1,
+                                                               cache=cache)),
+                baseline=baseline))
+            checks.append(AuditCheck(
+                scenario=name, variation="cache=warm",
+                digest=compute_digest(name, runner=SweepRunner(jobs=1,
+                                                               cache=cache)),
+                baseline=baseline))
+    return checks
+
+
+def audit_all(names: Optional[Sequence[str]] = None,
+              baselines: Optional[Dict[str, str]] = None,
+              subprocess_checks: bool = True) -> AuditReport:
+    """Audit every (or the named) scenario; returns the full report.
+
+    ``baselines`` maps scenario name to an already-computed in-process
+    digest — the CLI passes the digests it just verified against the
+    goldens, so the audit never recomputes the serial run.
+    """
+    report = AuditReport()
+    for name in (names if names else scenario_names()):
+        baseline = (baselines or {}).get(name)
+        report.checks.extend(audit_scenario(
+            name, baseline=baseline, subprocess_checks=subprocess_checks))
+    return report

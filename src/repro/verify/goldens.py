@@ -1,0 +1,180 @@
+"""Committed golden documents and the regression check against them.
+
+A golden file (``tests/goldens/<scenario>.json``) stores one scenario's
+canonical document together with its content digest and per-section
+digests.  The check recomputes the scenario and compares digests; on a
+mismatch it reports *which sections* drifted and the leaf-level value
+diffs, so a silently changed emergent number (a TP plateau, an Eq.-1
+step, a decode threshold) turns into a reviewable failure instead of a
+quietly wrong figure.
+
+Regeneration is deliberate and explicit::
+
+    python -m repro.verify --update-goldens
+
+which rewrites every golden from the current sources — to be done only
+when a change is *supposed* to move the physics, and reviewed like any
+other diff (see ``docs/VERIFICATION.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.runner import SweepRunner, canonicalize
+from repro.verify.digest import content_digest, diff_documents, section_digests
+from repro.verify.scenarios import compute_document, scenario_names
+
+#: Environment variable overriding the default goldens directory.
+GOLDENS_DIR_ENV = "REPRO_GOLDENS_DIR"
+
+#: Golden file schema version (bump on incompatible layout changes).
+GOLDEN_SCHEMA = 1
+
+
+def default_goldens_dir() -> Path:
+    """The goldens directory: ``$REPRO_GOLDENS_DIR`` or the repo's.
+
+    With the editable/source layout (``src/repro``), the repository
+    root is two levels above the package, and the goldens live in
+    ``tests/goldens``.  Falls back to ``tests/goldens`` under the
+    current working directory for non-source installs.
+    """
+    env = os.environ.get(GOLDENS_DIR_ENV)
+    if env:
+        return Path(env)
+    import repro
+
+    repo_root = Path(repro.__file__).resolve().parent.parent.parent
+    candidate = repo_root / "tests" / "goldens"
+    if candidate.is_dir():
+        return candidate
+    return Path.cwd() / "tests" / "goldens"
+
+
+def golden_path(name: str, goldens_dir: Optional[Path] = None) -> Path:
+    """Path of the golden file for scenario ``name``."""
+    root = goldens_dir if goldens_dir is not None else default_goldens_dir()
+    return Path(root) / f"{name}.json"
+
+
+def write_golden(name: str, document: Dict[str, Any],
+                 goldens_dir: Optional[Path] = None) -> Path:
+    """Write one scenario's golden file; returns the path written."""
+    canonical = canonicalize(document)
+    payload = {
+        "schema": GOLDEN_SCHEMA,
+        "scenario": name,
+        "digest": content_digest(document),
+        "sections": section_digests(document),
+        "document": canonical,
+    }
+    path = golden_path(name, goldens_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_golden(name: str,
+                goldens_dir: Optional[Path] = None) -> Optional[Dict[str, Any]]:
+    """The parsed golden for ``name``, or ``None`` when not committed."""
+    path = golden_path(name, goldens_dir)
+    if not path.is_file():
+        return None
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != GOLDEN_SCHEMA:
+        raise ConfigError(
+            f"golden {path} has schema {payload.get('schema')!r}; "
+            f"this build reads schema {GOLDEN_SCHEMA} — regenerate with "
+            f"python -m repro.verify --update-goldens")
+    return payload
+
+
+@dataclass
+class GoldenCheck:
+    """Outcome of checking one scenario against its golden."""
+
+    scenario: str
+    status: str  # "ok" | "mismatch" | "missing"
+    expected_digest: str = ""
+    actual_digest: str = ""
+    #: Top-level sections whose digests differ.
+    drifted_sections: List[str] = field(default_factory=list)
+    #: Leaf-level value differences, ``path: old -> new``.
+    diff_lines: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the recomputed document matches the golden."""
+        return self.status == "ok"
+
+    def render(self) -> str:
+        """Multi-line human-readable report of this check."""
+        if self.ok:
+            return f"  ok       {self.scenario}  {self.actual_digest[:16]}"
+        if self.status == "missing":
+            return (f"  MISSING  {self.scenario}: no golden committed; run "
+                    f"python -m repro.verify --update-goldens")
+        lines = [
+            f"  DRIFT    {self.scenario}: digest "
+            f"{self.expected_digest[:16]} -> {self.actual_digest[:16]}",
+            f"           drifted sections: "
+            f"{', '.join(self.drifted_sections) or '(top-level)'}",
+        ]
+        lines.extend(f"           {line}" for line in self.diff_lines)
+        return "\n".join(lines)
+
+
+def check_scenario(name: str, goldens_dir: Optional[Path] = None,
+                   runner: Optional[SweepRunner] = None) -> GoldenCheck:
+    """Recompute one scenario and compare it to its committed golden."""
+    document = compute_document(name, runner=runner)
+    actual_digest = content_digest(document)
+    golden = load_golden(name, goldens_dir)
+    if golden is None:
+        return GoldenCheck(scenario=name, status="missing",
+                           actual_digest=actual_digest)
+    if golden["digest"] == actual_digest:
+        return GoldenCheck(scenario=name, status="ok",
+                           expected_digest=golden["digest"],
+                           actual_digest=actual_digest)
+    sections = section_digests(document)
+    drifted = sorted(
+        set(golden["sections"]) ^ set(sections)
+        | {s for s in set(golden["sections"]) & set(sections)
+           if golden["sections"][s] != sections[s]})
+    return GoldenCheck(
+        scenario=name,
+        status="mismatch",
+        expected_digest=golden["digest"],
+        actual_digest=actual_digest,
+        drifted_sections=drifted,
+        diff_lines=diff_documents(golden["document"], document),
+    )
+
+
+def check_all(names: Optional[Sequence[str]] = None,
+              goldens_dir: Optional[Path] = None,
+              runner: Optional[SweepRunner] = None) -> List[GoldenCheck]:
+    """Check every (or the named) scenario against its golden."""
+    return [check_scenario(name, goldens_dir, runner=runner)
+            for name in (names if names else scenario_names())]
+
+
+def update_goldens(names: Optional[Sequence[str]] = None,
+                   goldens_dir: Optional[Path] = None,
+                   runner: Optional[SweepRunner] = None) -> List[Path]:
+    """Regenerate the (or the named) golden files from current sources."""
+    paths = []
+    for name in (names if names else scenario_names()):
+        document = compute_document(name, runner=runner)
+        paths.append(write_golden(name, document, goldens_dir))
+    return paths

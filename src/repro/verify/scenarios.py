@@ -1,0 +1,234 @@
+"""Canonical scenarios the golden-trace harness pins.
+
+Each scenario is a module-level function reducing one end-to-end
+behaviour of the reproduction to a digest *document* (plain JSON types;
+see :mod:`repro.verify.digest`).  The set is chosen so the emergent
+Section-5 behaviours are all covered:
+
+* ``demo_transfer`` — the three covert channels transferring the demo
+  payload, pinned down to every symbol, receiver measurement, rail
+  breakpoint and deterministic metrics counter;
+* ``fig6_slice`` — Eq.-1 guardband steps (load-line physics);
+* ``fig8_slice`` — TP quantization distributions across the three
+  parts, plus power-gate wake deltas;
+* ``fig13_slice`` — receiver TP level clusters and decode thresholds;
+* ``resilience_slice`` — the fault-injection resilience sweep at
+  nominal intensity across all three mitigation stacks.
+
+Scenarios marked ``supports_runner`` accept a
+:class:`~repro.runner.SweepRunner`, which the determinism auditor uses
+to prove that worker count and cache state cannot change any digest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.experiments import (
+    fig6_voltage_steps,
+    fig8_throttling,
+    fig13_level_distribution,
+    resilience_sweep,
+)
+from repro.core import IccCoresCovert, IccSMTcovert, IccThreadCovert
+from repro.errors import ConfigError
+from repro.obs import Tracer, metrics_fingerprint, tracing
+from repro.runner import SweepRunner
+from repro.soc.config import cannon_lake_i3_8121u
+from repro.soc.system import System
+from repro.verify.digest import (
+    content_digest,
+    summarize_array,
+    summarize_breakpoints,
+)
+
+#: Payload every transfer-shaped scenario sends (same as the CLI demo).
+DEMO_MESSAGE = b"IChannels"
+
+
+def _rail_fingerprint(system: System) -> Dict[str, Any]:
+    """Breakpoint fingerprints of the system's observable signals."""
+    vcc_times, vcc_values = system.vcc_signal().breakpoints()
+    icc_times, icc_values = system.icc_signal().breakpoints()
+    freq_times, freq_values = system.freq_signal().breakpoints()
+    return {
+        "vcc": summarize_breakpoints(vcc_times, vcc_values, name="vcc"),
+        "icc": summarize_breakpoints(icc_times, icc_values, name="icc"),
+        "freq": summarize_breakpoints(freq_times, freq_values, name="freq"),
+    }
+
+
+def demo_transfer() -> Dict[str, Any]:
+    """The three-channel demo, reduced to a digest document.
+
+    Runs each channel on a fresh Cannon Lake system under an active
+    tracer, and records the full transfer fingerprint (symbols,
+    measurements, timings), the rail breakpoints, and the deterministic
+    slice of the metrics registry.
+    """
+    channels: Tuple[Tuple[str, type], ...] = (
+        ("IccThreadCovert", IccThreadCovert),
+        ("IccSMTcovert", IccSMTcovert),
+        ("IccCoresCovert", IccCoresCovert),
+    )
+    document: Dict[str, Any] = {}
+    tracer = Tracer(events=False)
+    with tracing(tracer):
+        for name, channel_cls in channels:
+            system = System(cannon_lake_i3_8121u())
+            report = channel_cls(system).transfer(DEMO_MESSAGE)
+            document[name] = {
+                "report": report.fingerprint(),
+                "rails": _rail_fingerprint(system),
+            }
+    document["metrics"] = metrics_fingerprint(tracer)
+    return document
+
+
+def fig6_slice() -> Dict[str, Any]:
+    """Figure 6 guardband steps (Eq. 1 emergents) as a digest document."""
+    result = fig6_voltage_steps()
+    return {
+        "steps": {
+            "vcc_start_mv": result.vcc_start_mv,
+            "step_core1_mv": result.step_core1_mv,
+            "step_core0_mv": result.step_core0_mv,
+            "return_mv": result.return_mv,
+            "freq_ghz_start": result.freq_ghz_start,
+            "freq_ghz_end": result.freq_ghz_end,
+        },
+        "vcc_samples": result.vcc_samples.fingerprint(),
+        "calculix": {
+            "vcc_samples": result.calculix_vcc.fingerprint(),
+            "phases": int(result.calculix_phases),
+        },
+    }
+
+
+def fig8_slice(runner: Optional[SweepRunner] = None) -> Dict[str, Any]:
+    """Figure 8 TP distributions (trimmed sweep) as a digest document."""
+    result = fig8_throttling(trials=6, runner=runner)
+    return {
+        "tp_us": {part: [float(v) for v in values]
+                  for part, values in result.tp_us_by_part.items()},
+        "iteration_deltas_ns": {
+            part: [float(v) for v in values]
+            for part, values in result.iteration_deltas_ns.items()
+        },
+    }
+
+
+def fig13_slice(runner: Optional[SweepRunner] = None) -> Dict[str, Any]:
+    """Figure 13 receiver level clusters as a digest document."""
+    result = fig13_level_distribution(symbols_per_level=6, seed=13,
+                                      runner=runner)
+    return {
+        "samples_by_symbol": {
+            str(symbol): summarize_array(values, name=f"symbol{symbol}")
+            for symbol, values in sorted(result.samples_by_symbol.items())
+        },
+        "thresholds": [float(t) for t in result.thresholds],
+        "separations": [[int(a), int(b), float(gap)]
+                        for a, b, gap in result.separations],
+        "min_gap_cycles": float(result.min_gap_cycles),
+    }
+
+
+def resilience_slice(runner: Optional[SweepRunner] = None) -> Dict[str, Any]:
+    """Resilience sweep at nominal fault intensity as a digest document."""
+    result = resilience_sweep(
+        payload=b"\x5a\x0f\xc3\x3c",
+        intensities=(1.0,),
+        channels=("cores",),
+        trials=1,
+        runner=runner,
+    )
+    return {
+        "payload_bytes": result.payload_bytes,
+        "trials": result.trials,
+        "points": {
+            f"{p.channel}/{p.mitigation}@{p.intensity:g}":
+                dataclasses.asdict(p)
+            for p in result.points
+        },
+    }
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One canonical scenario of the golden-trace harness.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier; also the golden file's stem.
+    fn:
+        Module-level function producing the digest document.  Takes a
+        ``runner`` keyword when ``supports_runner`` is true.
+    supports_runner:
+        Whether the determinism auditor may vary
+        :class:`~repro.runner.SweepRunner` worker counts and cache
+        state for this scenario.
+    description:
+        One line for ``python -m repro.verify --list``.
+    """
+
+    name: str
+    fn: Callable[..., Dict[str, Any]]
+    supports_runner: bool
+    description: str
+
+
+#: Registry of canonical scenarios, in checking order.
+SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario("demo_transfer", demo_transfer, False,
+             "three covert channels transferring the demo payload"),
+    Scenario("fig6_slice", fig6_slice, False,
+             "Eq.-1 guardband voltage steps (Figure 6)"),
+    Scenario("fig8_slice", fig8_slice, True,
+             "TP quantization distributions (Figure 8, trimmed)"),
+    Scenario("fig13_slice", fig13_slice, True,
+             "receiver TP level clusters and thresholds (Figure 13)"),
+    Scenario("resilience_slice", resilience_slice, True,
+             "fault-injection resilience sweep at nominal intensity"),
+)
+
+
+def scenario_names() -> List[str]:
+    """Names of all registered scenarios, in checking order."""
+    return [scenario.name for scenario in SCENARIOS]
+
+
+def get_scenario(name: str) -> Scenario:
+    """The registered scenario called ``name``.
+
+    Raises :class:`~repro.errors.ConfigError` with the valid names on a
+    typo, mirroring the CLI's error behaviour.
+    """
+    for scenario in SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    raise ConfigError(
+        f"unknown scenario {name!r}; valid names: {', '.join(scenario_names())}")
+
+
+def compute_document(name: str,
+                     runner: Optional[SweepRunner] = None) -> Dict[str, Any]:
+    """Run one scenario and return its digest document.
+
+    ``runner`` is forwarded only to scenarios that support it; passing
+    one to a serial-only scenario is silently ignored (the auditor
+    relies on this when sweeping variations over every scenario).
+    """
+    scenario = get_scenario(name)
+    if scenario.supports_runner:
+        return scenario.fn(runner=runner)
+    return scenario.fn()
+
+
+def compute_digest(name: str,
+                   runner: Optional[SweepRunner] = None) -> str:
+    """Run one scenario and return its content digest."""
+    return content_digest(compute_document(name, runner=runner))

@@ -27,6 +27,17 @@ class TestDynamics:
     def test_starts_at_ambient(self, model):
         assert model.read(0.0) == pytest.approx(45.0)
 
+    def test_unset_sentinel_tolerates_float_noise(self):
+        """The 'start at ambient' sentinel is epsilon-compared (the
+        float-eq lint rule bans bare equality): a start temperature
+        within 1e-12 of zero still means 'begin at ambient', while a
+        genuine explicit start temperature is preserved."""
+        spec = ThermalSpec(t_ambient_c=45.0, tj_max_c=100.0)
+        noisy = ThermalModel(spec, temperature_c=1e-13)
+        assert noisy.temperature_c == pytest.approx(45.0)
+        explicit = ThermalModel(spec, temperature_c=60.0)
+        assert explicit.temperature_c == pytest.approx(60.0)
+
     def test_approaches_steady_state(self, model):
         model.advance(0.0, 20.0)  # 20 W -> steady 65 C
         temp = model.advance(s_to_ns(20.0), 20.0)

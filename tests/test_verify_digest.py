@@ -1,0 +1,146 @@
+"""Digest canonicalisation: stability, exactness, diffs."""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.runner import canonicalize
+from repro.verify.digest import (
+    canonical_json,
+    content_digest,
+    diff_documents,
+    flatten_leaves,
+    section_digests,
+    summarize_array,
+    summarize_breakpoints,
+)
+
+
+class TestCanonicalJson:
+    def test_key_order_irrelevant(self):
+        a = {"x": 1, "y": [1.5, {"b": 2, "a": 3}]}
+        b = {"y": [1.5, {"a": 3, "b": 2}], "x": 1}
+        assert canonical_json(a) == canonical_json(b)
+        assert content_digest(a) == content_digest(b)
+
+    def test_floats_round_trip_exactly(self):
+        values = [0.1, 1e-300, 7.234567891234567, 2**-52, 1.0 + 2**-52]
+        text = canonical_json(values)
+        assert json.loads(text) == values
+
+    def test_non_finite_floats_are_tagged(self):
+        doc = canonicalize({"nan": float("nan"), "inf": float("inf"),
+                            "ninf": float("-inf")})
+        assert doc == {"nan": {"__float__": "nan"},
+                       "inf": {"__float__": "inf"},
+                       "ninf": {"__float__": "-inf"}}
+        # and therefore serialisable with allow_nan=False:
+        canonical_json({"v": float("nan")})
+
+    def test_ndarray_and_bytes_and_sets(self):
+        doc = canonicalize({
+            "arr": np.array([[1.0, 2.0]]),
+            "blob": b"\x00\xff",
+            "set": {3, 1, 2},
+        })
+        assert doc["arr"] == {"__ndarray__": "float64", "shape": [1, 2],
+                              "data": [1.0, 2.0]}
+        assert doc["blob"] == {"__bytes__": "00ff"}
+        assert doc["set"] == {"__set__": [1, 2, 3]}
+
+    def test_non_string_keys_are_sorted_structurally(self):
+        a = canonicalize({2: "b", 1: "a"})
+        b = canonicalize({1: "a", 2: "b"})
+        assert a == b
+        assert "__mapping__" in a
+
+    def test_digest_distinguishes_close_floats(self):
+        assert content_digest(1.0) != content_digest(1.0 + 2**-50)
+
+    def test_cross_process_stability(self):
+        """The digest must not depend on PYTHONHASHSEED."""
+        program = (
+            "import sys; sys.path.insert(0, {src!r})\n"
+            "from repro.verify.digest import content_digest\n"
+            "doc = {{'s': {{'c', 'a', 'b'}}, 'm': {{2: 'two', 1: 'one'}},\n"
+            "       'f': [0.1, 2.5e-7], 'b': b'payload'}}\n"
+            "print(content_digest(doc))\n"
+        ).format(src=os.path.abspath("src"))
+        digests = set()
+        for seed in ("0", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            out = subprocess.run([sys.executable, "-c", program], env=env,
+                                 capture_output=True, text=True, check=True)
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1
+
+
+class TestSummaries:
+    def test_summarize_array_pins_every_bit(self):
+        base = summarize_array([1.0, 2.0, 3.0])
+        flipped = summarize_array([1.0, 2.0, 3.0 + 2**-40])
+        assert base["sha256"] != flipped["sha256"]
+        assert base["len"] == 3
+        assert base["first"] == 1.0 and base["last"] == 3.0
+        assert base["min"] == 1.0 and base["max"] == 3.0
+
+    def test_summarize_empty_array(self):
+        out = summarize_array([])
+        assert out["len"] == 0 and "mean" not in out
+
+    def test_summarize_breakpoints_shape(self):
+        out = summarize_breakpoints([0.0, 1.0], [5.0, 6.0], name="vcc")
+        assert out["times"]["name"] == "vcc.times"
+        assert out["values"]["len"] == 2
+
+    def test_section_digests_localise_change(self):
+        doc = {"a": [1, 2], "b": {"k": 3.5}}
+        before = section_digests(doc)
+        doc["b"]["k"] = 3.6
+        after = section_digests(doc)
+        assert before["a"] == after["a"]
+        assert before["b"] != after["b"]
+
+
+class TestDiff:
+    def test_flatten_leaves_paths(self):
+        leaves = dict(flatten_leaves({"a": {"b": [1, 2]}, "c": 3}))
+        assert leaves == {"a.b[0]": 1, "a.b[1]": 2, "c": 3}
+
+    def test_diff_reports_changed_added_removed(self):
+        old = {"x": 1.0, "gone": "old", "same": 7}
+        new = {"x": 2.0, "fresh": "new", "same": 7}
+        lines = diff_documents(old, new)
+        assert any("x: 1.0 -> 2.0" in line for line in lines)
+        assert any("gone" in line and "removed" in line for line in lines)
+        assert any("fresh" in line and "added" in line for line in lines)
+        assert not any("same" in line for line in lines)
+
+    def test_diff_truncates(self):
+        old = {f"k{i}": i for i in range(100)}
+        new = {f"k{i}": i + 1 for i in range(100)}
+        lines = diff_documents(old, new, max_lines=10)
+        assert len(lines) == 11
+        assert "90 more differing leaves" in lines[-1]
+
+    def test_identical_documents_diff_empty(self):
+        doc = {"arr": np.arange(4.0), "n": 2}
+        assert diff_documents(doc, {"arr": np.arange(4.0), "n": 2}) == []
+
+
+class TestScenarioDigests:
+    def test_digest_is_rerun_stable(self):
+        from repro.verify.scenarios import compute_digest
+
+        assert compute_digest("fig6_slice") == compute_digest("fig6_slice")
+
+    def test_unknown_scenario_raises(self):
+        from repro.errors import ConfigError
+        from repro.verify.scenarios import get_scenario
+
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            get_scenario("fig99_slice")
