@@ -1,0 +1,100 @@
+"""Baseline mechanism: accept today's findings, gate tomorrow's.
+
+A baseline is a committed JSON file of *known* findings.  A run with a
+baseline reports only findings that are not in it — so a new rule can
+land with its existing debt recorded, while any regression fails CI
+immediately.  Entries match on ``(rule, path, source line)`` rather
+than line numbers, so unrelated edits above a finding don't invalidate
+the baseline.
+
+Stale entries (matching nothing) are reported and fail the run: a
+baseline may only shrink silently, never rot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.staticcheck.model import Finding
+
+#: Schema version of the baseline file format.
+BASELINE_VERSION = 1
+
+
+def _key(rule: str, path: str, source: str) -> Tuple[str, str, str]:
+    """The identity a baseline entry matches findings on."""
+    return (rule, path, source.strip())
+
+
+def entry_of(finding: Finding) -> Dict[str, str]:
+    """The JSON entry recording one finding in a baseline."""
+    return {"rule": finding.rule, "path": finding.path,
+            "source": finding.source.strip()}
+
+
+def save_baseline(findings: Sequence[Finding], path: Path) -> int:
+    """Write a baseline covering ``findings``; returns the entry count.
+
+    Duplicate (rule, path, source) triples collapse to one entry — the
+    matcher treats an entry as covering every identical occurrence.
+    """
+    entries = sorted(
+        {_key(f.rule, f.path, f.source) for f in findings})
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"rule": rule, "path": file_path, "source": source}
+            for rule, file_path, source in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+    return len(entries)
+
+
+def load_baseline(path: Optional[Path]) -> List[Dict[str, str]]:
+    """The entries of a baseline file ([] when ``path`` is None)."""
+    if path is None:
+        return []
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"cannot read baseline {path}: {exc}") from None
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ConfigError(f"baseline {path}: expected an object with 'entries'")
+    entries = payload["entries"]
+    for entry in entries:
+        if not all(key in entry for key in ("rule", "path", "source")):
+            raise ConfigError(
+                f"baseline {path}: entry missing rule/path/source: {entry}")
+    return list(entries)
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   entries: Sequence[Dict[str, str]],
+                   ) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Split findings by baseline coverage.
+
+    Returns ``(new, baselined, unused)``: findings not covered by any
+    entry, findings covered, and human-readable renderings of entries
+    that covered nothing (stale debt that must be deleted).
+    """
+    table = {_key(e["rule"], e["path"], e["source"]) for e in entries}
+    used: set = set()
+    new: List[Finding] = []
+    covered: List[Finding] = []
+    for finding in findings:
+        key = _key(finding.rule, finding.path, finding.source)
+        if key in table:
+            used.add(key)
+            covered.append(finding)
+        else:
+            new.append(finding)
+    unused = [
+        f"{rule} {path} :: {source}"
+        for rule, path, source in sorted(table - used)
+    ]
+    return new, covered, unused

@@ -1,0 +1,221 @@
+"""Process-pool safety pass.
+
+:class:`repro.runner.sweep.SweepRunner` fans trials out to worker
+*processes*.  Everything crossing that boundary is pickled, and the
+worker gets a fresh module state — two facts that break three common
+idioms silently or with opaque ``PicklingError`` s:
+
+``pool-callable``
+    A lambda, a locally-defined function, or a bound method handed to a
+    pool dispatch call (``runner.map(...)``, ``pool.submit(...)``).
+    Lambdas and local defs don't pickle at all; bound methods drag
+    their whole instance through the pickle layer.  Task functions must
+    be module-level.
+``pool-global``
+    A task function that mutates module-global state (``global``
+    statements, ``SOME_CACHE.append(...)``, ``TABLE[k] = v``).  The
+    mutation lands in the *worker's* copy of the module and is lost
+    when the worker exits — the parent never sees it.
+``pool-unpicklable``
+    A lambda nested inside the *arguments* of a pool dispatch call
+    (e.g. a lambda inside a kwargs dict).  It will fail to pickle at
+    dispatch time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.staticcheck.context import ModuleContext, ProjectContext
+from repro.staticcheck.dataflow import LocalBindings, local_bindings
+from repro.staticcheck.model import Finding, Severity
+from repro.staticcheck.registry import Pass, Rule, register
+
+#: Method names that dispatch work to a pool.
+_DISPATCH_METHODS = frozenset({"map", "call", "submit", "apply_async",
+                               "map_async", "starmap"})
+
+#: Methods that always mean "pool" regardless of the receiver's name.
+_ALWAYS_POOL_METHODS = frozenset({"submit", "apply_async", "map_async",
+                                  "starmap"})
+
+#: Receiver-name components that mark an object as a pool/runner.
+_POOL_RECEIVERS = ("runner", "pool", "executor")
+
+#: Method calls that mutate their receiver in place.
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "appendleft",
+})
+
+
+def _receiver_name(func: ast.Attribute) -> str:
+    """The identifier the dispatch receiver 'is about'."""
+    base = func.value
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return ""
+
+
+def _is_pool_dispatch(node: ast.Call) -> bool:
+    """Whether a call looks like a pool/runner dispatch."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    if func.attr not in _DISPATCH_METHODS:
+        return False
+    if func.attr in _ALWAYS_POOL_METHODS:
+        return True
+    receiver = _receiver_name(func).lower()
+    return any(part in receiver for part in _POOL_RECEIVERS)
+
+
+@register
+class PoolSafetyPass:
+    """Flags constructs that break under process-pool dispatch."""
+
+    name = "poolsafety"
+    rules: Tuple[Rule, ...] = (
+        Rule("pool-callable",
+             "non-module-level callable handed to a process pool",
+             Severity.ERROR,
+             "define the task as a module-level function and pass "
+             "parameters through kwargs"),
+        Rule("pool-global",
+             "pool task function mutates module-global state",
+             Severity.ERROR,
+             "return the data instead; worker-side module state is "
+             "discarded when the worker exits"),
+        Rule("pool-unpicklable",
+             "lambda inside the arguments of a pool dispatch",
+             Severity.ERROR,
+             "replace the lambda with a module-level function or a "
+             "picklable value"),
+    )
+
+    def run(self, ctx: ModuleContext,
+            project: ProjectContext) -> List[Finding]:
+        """Scan the module for unsafe pool dispatches and task bodies."""
+        visitor = _Visitor(self, ctx)
+        visitor.visit(ctx.tree)
+        visitor.check_task_functions()
+        return visitor.findings
+
+
+class _Visitor(ast.NodeVisitor):
+    """Collects pool-safety findings for one module."""
+
+    def __init__(self, owner: PoolSafetyPass, ctx: ModuleContext) -> None:
+        self.owner = owner
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+        self._rules = {rule.id: rule for rule in owner.rules}
+        self._imported_modules = ctx.imported_module_names()
+        self._module_globals = ctx.module_level_names()
+        #: Module-level function defs, by name.
+        self._module_functions: Dict[str, ast.AST] = {
+            node.name: node for node in ctx.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        #: Names of module-level functions referenced as pool tasks.
+        self._task_names: Set[str] = set()
+        #: Stack of per-function local binding tables.
+        self._bindings: List[LocalBindings] = []
+
+    def _add(self, rule_id: str, node: ast.AST, message: str) -> None:
+        rule = self._rules[rule_id]
+        line = getattr(node, "lineno", 0)
+        self.findings.append(Finding(
+            rule=rule_id, path=self.ctx.path, line=line, message=message,
+            source=self.ctx.source_line(line),
+            severity=rule.default_severity,
+            fix_hint=rule.default_fix_hint))
+
+    # -- dispatch sites ------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Push this function's local bindings, then descend."""
+        self._bindings.append(local_bindings(node))
+        self.generic_visit(node)
+        self._bindings.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Check one call if it is a pool dispatch."""
+        if _is_pool_dispatch(node) and node.args:
+            self._check_dispatch(node)
+        self.generic_visit(node)
+
+    def _check_dispatch(self, node: ast.Call) -> None:
+        task = node.args[0]
+        local = self._bindings[-1] if self._bindings else LocalBindings()
+        if isinstance(task, ast.Lambda):
+            self._add("pool-callable", task,
+                      "lambda passed to a process pool; lambdas cannot "
+                      "be pickled")
+        elif isinstance(task, ast.Name):
+            if task.id in local.lambdas:
+                self._add("pool-callable", task,
+                          f"'{task.id}' is a lambda; lambdas cannot be "
+                          f"pickled across processes")
+            elif task.id in local.local_functions:
+                self._add("pool-callable", task,
+                          f"'{task.id}' is defined inside a function; "
+                          f"only module-level functions pickle")
+            elif task.id in self._module_functions:
+                self._task_names.add(task.id)
+        elif isinstance(task, ast.Attribute):
+            base = task.value
+            if not (isinstance(base, ast.Name)
+                    and base.id in self._imported_modules):
+                self._add("pool-callable", task,
+                          f"bound method '.{task.attr}' passed to a "
+                          f"process pool; it pickles its whole instance")
+        # Lambdas anywhere in the remaining arguments fail at pickle time.
+        rest = list(node.args[1:]) + [kw.value for kw in node.keywords]
+        for arg in rest:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Lambda):
+                    self._add("pool-unpicklable", sub,
+                              "lambda inside pool-dispatch arguments "
+                              "cannot be pickled")
+
+    # -- task-function bodies ------------------------------------------------
+
+    def check_task_functions(self) -> None:
+        """Scan the body of every in-module task for global mutation."""
+        for name in sorted(self._task_names):
+            self._check_task_body(name, self._module_functions[name])
+
+    def _check_task_body(self, name: str, fn: ast.AST) -> None:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                self._add("pool-global", node,
+                          f"task {name}() declares global "
+                          f"{', '.join(node.names)}; worker-side state "
+                          f"is lost")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in _MUTATING_METHODS
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id in self._module_globals):
+                    self._add("pool-global", node,
+                              f"task {name}() mutates module global "
+                              f"'{func.value.id}' via .{func.attr}(); "
+                              f"the mutation never reaches the parent")
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if (isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id in self._module_globals):
+                        self._add("pool-global", node,
+                                  f"task {name}() stores into module "
+                                  f"global '{target.value.id}'; the "
+                                  f"write never reaches the parent")

@@ -1,0 +1,135 @@
+"""The analysis driver: files in, :class:`Report` out.
+
+Orchestration order:
+
+1. parse every ``*.py`` under the requested paths into
+   :class:`ModuleContext` s;
+2. pre-scan them into a :class:`ProjectContext` (the signature table the
+   dimensional pass checks call sites against);
+3. run the selected passes over every module;
+4. filter to the selected rules, sort, then apply waivers and baseline.
+
+``analyze_source`` is the single-snippet entry the fixture tests and
+the ``repro.verify.lint`` shim use; ``analyze_paths`` is the full-tree
+entry behind the CLI and CI gate.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.staticcheck.baseline import apply_baseline, load_baseline
+from repro.staticcheck.context import ModuleContext, ProjectContext
+from repro.staticcheck.model import Finding, Report, Waiver
+from repro.staticcheck.registry import passes_for
+from repro.staticcheck.waivers import load_waivers
+
+
+def default_root() -> Path:
+    """The package source tree analysed by default (``src/repro``)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _sort_key(finding: Finding):
+    return (finding.path, finding.line, finding.rule)
+
+
+def _collect_modules(paths: Sequence[Path]) -> List[ModuleContext]:
+    """Parse every ``*.py`` reachable from ``paths``.
+
+    Module paths are reported relative to the deepest directory named
+    like a source root parent — concretely, relative to each argument's
+    parent for directories (so ``src/repro`` reports ``repro/...``) and
+    to the file's own parent directory for single files.
+    """
+    modules: List[ModuleContext] = []
+    for base in paths:
+        base = Path(base)
+        if base.is_dir():
+            for path in sorted(base.rglob("*.py")):
+                rel = path.relative_to(base.parent).as_posix()
+                modules.append(ModuleContext.from_source(
+                    path.read_text(encoding="utf-8"), rel))
+        else:
+            modules.append(ModuleContext.from_source(
+                base.read_text(encoding="utf-8"), base.name))
+    return modules
+
+
+def run_passes(modules: Sequence[ModuleContext],
+               rules: Optional[Iterable[str]] = None,
+               project: Optional[ProjectContext] = None) -> List[Finding]:
+    """Run the selected passes over parsed modules; sorted findings."""
+    if project is None:
+        project = ProjectContext.build(modules)
+    selected = tuple(rules) if rules is not None else None
+    findings: List[Finding] = []
+    for pass_obj in passes_for(selected):
+        for module in modules:
+            findings.extend(pass_obj.run(module, project))
+    if selected is not None:
+        wanted = set(selected)
+        findings = [f for f in findings if f.rule in wanted]
+    return sorted(findings, key=_sort_key)
+
+
+def analyze_source(source: str, path: str = "<string>",
+                   rules: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Analyse one source text under a virtual ``path``.
+
+    The project context contains just this module, so cross-module
+    signature checks see only what the snippet itself defines (plus the
+    built-in ``repro.units`` conventions).
+    """
+    module = ModuleContext.from_source(source, path)
+    return run_passes([module], rules=rules)
+
+
+def analyze_paths(paths: Optional[Sequence[Path]] = None,
+                  rules: Optional[Iterable[str]] = None,
+                  waivers: Optional[Iterable[Waiver]] = None,
+                  waivers_path: Optional[Path] = None,
+                  baseline_path: Optional[Path] = None) -> Report:
+    """Full analysis of source trees with waivers and baseline applied.
+
+    ``paths`` defaults to the installed ``repro`` package sources.
+    ``waivers`` wins over ``waivers_path``; with neither given the repo
+    waiver file (``tests/lint_waivers.txt``) is used when present.
+    """
+    roots = [Path(p) for p in paths] if paths else [default_root()]
+    modules = _collect_modules(roots)
+    findings = run_passes(modules, rules=rules)
+
+    if waivers is not None:
+        waiver_list = list(waivers)
+    else:
+        waiver_list = load_waivers(waivers_path)
+    if rules is not None:
+        wanted = set(rules)
+        waiver_list = [w for w in waiver_list if w.rule in wanted]
+
+    report = Report(files_analyzed=len(modules))
+    used: Dict[int, bool] = {}
+    unwaived: List[Finding] = []
+    for finding in findings:
+        matched = False
+        for index, waiver in enumerate(waiver_list):
+            if waiver.matches(finding):
+                used[index] = True
+                matched = True
+                break
+        (report.waived if matched else unwaived).append(finding)
+    report.unused_waivers = [
+        waiver for index, waiver in enumerate(waiver_list)
+        if index not in used
+    ]
+
+    entries = load_baseline(baseline_path)
+    new, covered, unused = apply_baseline(unwaived, entries)
+    report.findings = new
+    report.baselined = covered
+    report.unused_baseline = unused
+    return report

@@ -1,113 +1,45 @@
-"""Custom AST lint encoding the simulator's determinism invariants.
+"""Legacy lint front end — now a thin shim over :mod:`repro.staticcheck`.
 
-The golden-trace harness can only certify what it runs; this lint pass
-certifies the *source* obeys the rules that make those runs
-reproducible in the first place.  Rules:
+The determinism/hygiene rules that used to live here (``unseeded-rng``,
+``global-rng``, ``wall-clock``, ``float-eq``, ``mutable-default``) are
+implemented by the static-analysis framework's passes; this module
+keeps the original public API — :func:`lint_source`, :func:`lint_paths`,
+:func:`parse_waivers`, :class:`Finding`, :class:`Waiver`,
+:class:`LintReport` — as re-exports and adapters so ``repro verify``
+and existing callers keep working unchanged.
 
-``unseeded-rng``
-    ``np.random.default_rng()`` (or ``random.Random()``) constructed
-    without an explicit seed argument anywhere in ``src/repro``.  An
-    unseeded generator is nondeterminism by construction.
-``global-rng``
-    Calls through numpy's legacy global generator
-    (``np.random.uniform(...)``, ``np.random.seed(...)``, …).  Global
-    RNG state leaks across call sites and breaks the "every trial's
-    seed derives from its coordinates" contract the parallel sweeps
-    rely on.
-``wall-clock``
-    Wall-clock reads (``time.time``, ``perf_counter``,
-    ``datetime.now``, …) inside the simulator core packages
-    (:data:`WALL_CLOCK_PACKAGES`).  The simulation must advance only on
-    its own event clock; host time belongs to the side-car layers
-    (``runner``, ``obs``) only.
-``float-eq``
-    Bare ``==``/``!=`` between physical quantities (voltages, times,
-    frequencies, temperatures — identified by name components), or
-    between a physical quantity and a float literal.  Exact float
-    comparison on derived physics is how silent guardband drift hides;
-    use an epsilon or restructure.
-``mutable-default``
-    Mutable default arguments (``def f(x=[])``) — shared state across
-    calls is both a bug magnet and a determinism leak.
-
-Deliberate exceptions are recorded in a waiver file
-(``tests/lint_waivers.txt``): one ``rule path-glob [substring]`` line
-per waived finding, comments with ``#``.  Waivers that match nothing
-are reported so the file cannot rot.
+The shim restricts analysis to the legacy rule set (:data:`RULES`);
+the full rule surface — dimensional analysis, pool safety, API
+hygiene — is available through ``python -m repro.staticcheck``.
 """
 
 from __future__ import annotations
 
-import ast
-import fnmatch
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Tuple
 
-from repro.errors import ConfigError
+from repro.staticcheck.model import Finding, Waiver  # noqa: F401 (re-export)
+from repro.staticcheck.passes.determinism import (  # noqa: F401 (re-export)
+    WALL_CLOCK_PACKAGES,
+)
+from repro.staticcheck.passes.hygiene import (  # noqa: F401 (re-export)
+    PHYSICAL_COMPONENTS,
+)
+from repro.staticcheck.runner import (
+    analyze_paths,
+    analyze_source,
+    default_root,
+)
+from repro.staticcheck.waivers import (  # noqa: F401 (re-export)
+    default_waivers_path,
+    load_waivers,
+    parse_waivers,
+)
 
-#: Rule identifiers, in reporting order.
+#: The legacy rule identifiers this front end reports, in order.
 RULES: Tuple[str, ...] = ("unseeded-rng", "global-rng", "wall-clock",
                           "float-eq", "mutable-default")
-
-#: Top-level ``repro`` subpackages that form the simulator core — the
-#: only places the wall-clock rule applies (runner/obs are host-side).
-WALL_CLOCK_PACKAGES: Tuple[str, ...] = ("soc", "pdn", "pmu", "microarch")
-
-#: Wall-clock attribute names on the ``time`` module.
-_TIME_ATTRS = frozenset({
-    "time", "time_ns", "perf_counter", "perf_counter_ns",
-    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
-})
-
-#: Wall-clock attribute names on ``datetime``/``datetime.datetime``.
-_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
-
-#: Identifier components marking a value as a physical quantity for the
-#: float-eq rule.  Identifiers are split on underscores and lowercased,
-#: so ``vcc_start_mv`` has components {vcc, start, mv}.
-PHYSICAL_COMPONENTS = frozenset({
-    "vcc", "vdd", "volt", "volts", "voltage", "mv", "icc", "amp", "amps",
-    "current", "temp", "temperature", "time", "times", "t", "t0", "t1",
-    "ns", "us", "ms", "ghz", "mhz", "hz", "freq", "frequency",
-})
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One lint violation."""
-
-    rule: str
-    path: str
-    line: int
-    message: str
-    source: str
-
-    def render(self) -> str:
-        """One ``path:line: [rule] message`` report line."""
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-@dataclass(frozen=True)
-class Waiver:
-    """One deliberate exception from the waiver file."""
-
-    rule: str
-    path_glob: str
-    substring: Optional[str] = None
-
-    def matches(self, finding: Finding) -> bool:
-        """Whether this waiver covers ``finding``."""
-        if self.rule != finding.rule:
-            return False
-        path = finding.path.replace(os.sep, "/")
-        if not (fnmatch.fnmatch(path, self.path_glob)
-                or path.endswith(self.path_glob)):
-            return False
-        if self.substring is not None and self.substring not in finding.source:
-            return False
-        return True
 
 
 @dataclass
@@ -127,250 +59,20 @@ class LintReport:
         """Multi-line human-readable report."""
         lines = [finding.render() for finding in self.findings]
         for waiver in self.unused_waivers:
-            lines.append(
-                f"warning: unused waiver "
-                f"'{waiver.rule} {waiver.path_glob}"
-                f"{' ' + waiver.substring if waiver.substring else ''}'")
+            lines.append(f"warning: unused waiver '{waiver.render()}'")
         if not lines:
             return "  lint clean"
         return "\n".join(f"  {line}" for line in lines)
 
 
-def _identifier_of(node: ast.AST) -> str:
-    """The identifier a comparison side 'is about', or empty string."""
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    if isinstance(node, ast.Subscript):
-        return _identifier_of(node.value)
-    if isinstance(node, ast.Call):
-        return _identifier_of(node.func)
-    if isinstance(node, ast.UnaryOp):
-        return _identifier_of(node.operand)
-    return ""
-
-
-def _is_physical(node: ast.AST) -> bool:
-    """Whether a comparison side names a physical quantity."""
-    identifier = _identifier_of(node)
-    if not identifier:
-        return False
-    components = identifier.lower().split("_")
-    return any(component in PHYSICAL_COMPONENTS for component in components)
-
-
-def _is_float_literal(node: ast.AST) -> bool:
-    """Whether a node is a float constant (possibly negated)."""
-    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
-        node = node.operand
-    return isinstance(node, ast.Constant) and isinstance(node.value, float)
-
-
-class _Visitor(ast.NodeVisitor):
-    """Collects findings for one source file."""
-
-    def __init__(self, path: str, source_lines: Sequence[str],
-                 check_wall_clock: bool) -> None:
-        self.path = path
-        self.source_lines = source_lines
-        self.check_wall_clock = check_wall_clock
-        self.findings: List[Finding] = []
-        #: Names imported from ``time``/``datetime`` that read the wall
-        #: clock (``from time import perf_counter``).
-        self._wall_clock_names: Set[str] = set()
-
-    def _add(self, rule: str, node: ast.AST, message: str) -> None:
-        """Record one finding at ``node``'s line."""
-        line = getattr(node, "lineno", 0)
-        source = self.source_lines[line - 1].strip() \
-            if 0 < line <= len(self.source_lines) else ""
-        self.findings.append(Finding(rule=rule, path=self.path, line=line,
-                                     message=message, source=source))
-
-    # -- imports feeding the wall-clock rule ---------------------------------
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        """Track wall-clock names imported from ``time``."""
-        if node.module == "time":
-            for alias in node.names:
-                if alias.name in _TIME_ATTRS:
-                    self._wall_clock_names.add(alias.asname or alias.name)
-        self.generic_visit(node)
-
-    # -- calls: RNG rules, wall-clock calls ----------------------------------
-
-    def visit_Call(self, node: ast.Call) -> None:
-        """Apply the RNG rules to one call expression."""
-        func = node.func
-        # unseeded-rng: default_rng() / random.Random() without arguments.
-        tail = func.attr if isinstance(func, ast.Attribute) else (
-            func.id if isinstance(func, ast.Name) else "")
-        if tail == "default_rng" and not node.args and not node.keywords:
-            self._add("unseeded-rng", node,
-                      "np.random.default_rng() without an explicit seed")
-        if tail == "Random" and not node.args and not node.keywords:
-            base = func.value if isinstance(func, ast.Attribute) else None
-            if base is None or (isinstance(base, ast.Name)
-                                and base.id == "random"):
-                self._add("unseeded-rng", node,
-                          "random.Random() without an explicit seed")
-        # global-rng: np.random.<legacy>(...) calls.
-        if (isinstance(func, ast.Attribute)
-                and isinstance(func.value, ast.Attribute)
-                and func.value.attr == "random"
-                and isinstance(func.value.value, ast.Name)
-                and func.value.value.id in ("np", "numpy")
-                and func.attr not in ("default_rng", "Generator",
-                                      "SeedSequence", "PCG64", "Philox")):
-            self._add("global-rng", node,
-                      f"legacy global-state RNG np.random.{func.attr}(...)")
-        self.generic_visit(node)
-
-    # -- attribute reads: wall clock -----------------------------------------
-
-    def visit_Attribute(self, node: ast.Attribute) -> None:
-        """Apply the wall-clock rule to attribute reads."""
-        if self.check_wall_clock:
-            value = node.value
-            if (isinstance(value, ast.Name) and value.id == "time"
-                    and node.attr in _TIME_ATTRS):
-                self._add("wall-clock", node,
-                          f"wall-clock read time.{node.attr} in simulator core")
-            if node.attr in _DATETIME_ATTRS:
-                base = value
-                if (isinstance(base, ast.Name) and base.id == "datetime") or (
-                        isinstance(base, ast.Attribute)
-                        and base.attr == "datetime"):
-                    self._add("wall-clock", node,
-                              f"wall-clock read datetime.{node.attr} "
-                              f"in simulator core")
-        self.generic_visit(node)
-
-    def visit_Name(self, node: ast.Name) -> None:
-        """Flag uses of names imported from the wall clock."""
-        if (self.check_wall_clock and isinstance(node.ctx, ast.Load)
-                and node.id in self._wall_clock_names):
-            self._add("wall-clock", node,
-                      f"wall-clock read {node.id} (imported from time) "
-                      f"in simulator core")
-        self.generic_visit(node)
-
-    # -- comparisons: float-eq ------------------------------------------------
-
-    def visit_Compare(self, node: ast.Compare) -> None:
-        """Apply the float-eq rule to one comparison."""
-        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
-            sides = [node.left] + list(node.comparators)
-            physical = [side for side in sides if _is_physical(side)]
-            floats = [side for side in sides if _is_float_literal(side)]
-            if physical and (floats or len(physical) >= 2):
-                identifier = _identifier_of(physical[0]) or "quantity"
-                self._add("float-eq", node,
-                          f"bare float equality on physical quantity "
-                          f"'{identifier}'; compare with an epsilon")
-        self.generic_visit(node)
-
-    # -- function definitions: mutable-default --------------------------------
-
-    def _check_defaults(self, node) -> None:
-        """Apply the mutable-default rule to one function signature."""
-        defaults = list(node.args.defaults)
-        defaults += [d for d in node.args.kw_defaults if d is not None]
-        for default in defaults:
-            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set,
-                                           ast.ListComp, ast.DictComp,
-                                           ast.SetComp))
-            if (isinstance(default, ast.Call)
-                    and isinstance(default.func, ast.Name)
-                    and default.func.id in ("list", "dict", "set",
-                                            "bytearray")):
-                mutable = True
-            if mutable:
-                self._add("mutable-default", default,
-                          f"mutable default argument in {node.name}()")
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        """Check a function definition's defaults."""
-        self._check_defaults(node)
-        self.generic_visit(node)
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        """Check an async function definition's defaults."""
-        self._check_defaults(node)
-        self.generic_visit(node)
-
-
-def _wall_clock_applies(rel_path: str) -> bool:
-    """Whether a path (relative, posix) is in a simulator-core package."""
-    parts = rel_path.replace(os.sep, "/").split("/")
-    if "repro" in parts:
-        parts = parts[parts.index("repro") + 1:]
-    return bool(parts) and parts[0] in WALL_CLOCK_PACKAGES
-
-
 def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     """Lint one source text; ``path`` determines wall-clock applicability."""
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        raise ConfigError(f"{path}: cannot parse for linting: {exc}") from None
-    visitor = _Visitor(path, source.splitlines(), _wall_clock_applies(path))
-    visitor.visit(tree)
-    return sorted(visitor.findings, key=lambda f: (f.path, f.line, f.rule))
+    return analyze_source(source, path, rules=RULES)
 
 
 def default_lint_root() -> Path:
     """The package source tree the lint pass covers (``src/repro``)."""
-    import repro
-
-    return Path(repro.__file__).resolve().parent
-
-
-def default_waivers_path() -> Optional[Path]:
-    """The repo's waiver file (``tests/lint_waivers.txt``), if present."""
-    import repro
-
-    repo_root = Path(repro.__file__).resolve().parent.parent.parent
-    candidate = repo_root / "tests" / "lint_waivers.txt"
-    return candidate if candidate.is_file() else None
-
-
-def parse_waivers(text: str) -> List[Waiver]:
-    """Parse waiver-file text into :class:`Waiver` entries.
-
-    Each non-comment line is ``rule path-glob [substring...]``; the
-    substring (everything after the second field) must appear in the
-    offending source line for the waiver to apply.
-    """
-    waivers: List[Waiver] = []
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        parts = line.split(None, 2)
-        if len(parts) < 2:
-            raise ConfigError(
-                f"waiver line {lineno}: expected 'rule path-glob "
-                f"[substring]', got {raw!r}")
-        rule, path_glob = parts[0], parts[1]
-        if rule not in RULES:
-            raise ConfigError(
-                f"waiver line {lineno}: unknown rule {rule!r}; valid: "
-                f"{', '.join(RULES)}")
-        substring = parts[2].strip() if len(parts) == 3 else None
-        waivers.append(Waiver(rule=rule, path_glob=path_glob,
-                              substring=substring))
-    return waivers
-
-
-def load_waivers(path: Optional[Path] = None) -> List[Waiver]:
-    """Waivers from ``path`` (default: the repo's waiver file)."""
-    if path is None:
-        path = default_waivers_path()
-        if path is None:
-            return []
-    return parse_waivers(Path(path).read_text(encoding="utf-8"))
+    return default_root()
 
 
 def lint_paths(root: Optional[Path] = None,
@@ -378,24 +80,10 @@ def lint_paths(root: Optional[Path] = None,
     """Lint every ``*.py`` under ``root`` and apply waivers.
 
     ``root`` defaults to the installed ``repro`` package sources;
-    ``waivers`` defaults to the repo waiver file.  Paths in findings
-    are reported relative to ``root``'s parent (so they read
-    ``repro/measure/sampler.py``).
+    ``waivers`` defaults to the repo waiver file.  Only legacy-rule
+    waivers participate (others belong to the full framework run).
     """
-    root = Path(root) if root is not None else default_lint_root()
-    waiver_list = list(waivers) if waivers is not None else load_waivers()
-    report = LintReport()
-    used: Set[int] = set()
-    for path in sorted(root.rglob("*.py")):
-        rel = path.relative_to(root.parent).as_posix()
-        for finding in lint_source(path.read_text(encoding="utf-8"), rel):
-            matched = False
-            for index, waiver in enumerate(waiver_list):
-                if waiver.matches(finding):
-                    used.add(index)
-                    matched = True
-                    break
-            (report.waived if matched else report.findings).append(finding)
-    report.unused_waivers = [waiver for index, waiver in enumerate(waiver_list)
-                             if index not in used]
-    return report
+    roots = [Path(root)] if root is not None else None
+    report = analyze_paths(paths=roots, rules=RULES, waivers=waivers)
+    return LintReport(findings=report.findings, waived=report.waived,
+                      unused_waivers=report.unused_waivers)

@@ -1,0 +1,210 @@
+"""Framework mechanics: registry, waivers, baseline, reporters, CLI."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.staticcheck import (
+    Finding,
+    Severity,
+    all_passes,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    parse_waivers,
+    rule_ids,
+    save_baseline,
+)
+from repro.staticcheck.baseline import apply_baseline, load_baseline
+from repro.staticcheck.__main__ import main
+from repro.staticcheck.registry import passes_for, validate_rules
+from repro.staticcheck.reporters import render_text, to_json
+
+BAD_MODULE = textwrap.dedent("""
+    \"\"\"Fixture with one finding per pass.\"\"\"
+    import heapq
+
+
+    def schedule(heap, time_ns: float, handle: object, idle_us: float) -> float:
+        \"\"\"Mixes units and pushes an untiebroken heap entry.\"\"\"
+        heapq.heappush(heap, (time_ns, handle))
+        return time_ns + idle_us
+""")
+
+
+class TestRegistry:
+    def test_four_passes_registered(self):
+        names = {p.name for p in all_passes()}
+        assert names == {"dimensional", "determinism", "poolsafety",
+                         "hygiene"}
+
+    def test_every_rule_has_unique_owner(self):
+        ids = rule_ids()
+        assert len(ids) == len(set(ids))
+        assert "unit-mix" in ids and "pool-callable" in ids
+
+    def test_rules_carry_severity_and_fix_hint(self):
+        for rule in all_rules().values():
+            assert isinstance(rule.default_severity, Severity)
+            assert rule.summary
+
+    def test_passes_for_selects_owning_pass_only(self):
+        chosen = passes_for(["heap-tiebreak"])
+        assert [p.name for p in chosen] == ["determinism"]
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ConfigError, match="unknown rule"):
+            validate_rules(["no-such-rule"])
+
+
+class TestWaiverIntegration:
+    def test_new_rule_ids_are_valid_in_waiver_files(self):
+        waivers = parse_waivers("unit-mix repro/pdn/*.py\n"
+                                "pool-callable repro/runner/sweep.py\n")
+        assert [w.rule for w in waivers] == ["unit-mix", "pool-callable"]
+
+    def test_waiver_suppresses_finding(self, tmp_path):
+        src = tmp_path / "example_mod.py"
+        src.write_text(BAD_MODULE, encoding="utf-8")
+        waivers = parse_waivers("heap-tiebreak example_mod.py\n")
+        report = analyze_paths(paths=[src], rules=["heap-tiebreak"],
+                               waivers=waivers)
+        assert report.findings == []
+        assert [f.rule for f in report.waived] == ["heap-tiebreak"]
+        assert report.unused_waivers == []
+
+    def test_unused_waiver_reported(self, tmp_path):
+        src = tmp_path / "clean_mod.py"
+        src.write_text('"""Clean."""\n', encoding="utf-8")
+        waivers = parse_waivers("unit-mix clean_mod.py\n")
+        report = analyze_paths(paths=[src], waivers=waivers)
+        assert len(report.unused_waivers) == 1
+        assert "unused waiver" in render_text(report)
+
+
+class TestBaseline:
+    def _findings(self):
+        return analyze_source(BAD_MODULE, "repro/core/example_mod.py")
+
+    def test_round_trip_suppresses_known_findings(self, tmp_path):
+        findings = self._findings()
+        assert findings  # the fixture must actually trip rules
+        path = tmp_path / "baseline.json"
+        count = save_baseline(findings, path)
+        assert count == len(load_baseline(path))
+        new, covered, unused = apply_baseline(findings, load_baseline(path))
+        assert new == [] and unused == []
+        assert len(covered) == len(findings)
+
+    def test_baseline_matching_is_line_number_independent(self, tmp_path):
+        findings = self._findings()
+        path = tmp_path / "baseline.json"
+        save_baseline(findings, path)
+        shifted = [
+            Finding(rule=f.rule, path=f.path, line=f.line + 40,
+                    message=f.message, source=f.source,
+                    severity=f.severity, fix_hint=f.fix_hint)
+            for f in findings
+        ]
+        new, covered, unused = apply_baseline(shifted, load_baseline(path))
+        assert new == [] and unused == []
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        findings = self._findings()
+        path = tmp_path / "baseline.json"
+        save_baseline(findings, path)
+        new, covered, unused = apply_baseline([], load_baseline(path))
+        assert len(unused) == len(findings)
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(ConfigError, match="entries"):
+            load_baseline(path)
+
+    def test_committed_baseline_has_no_stale_entries(self, tmp_path):
+        """The repo tree must use every committed baseline entry."""
+        from repro.staticcheck.runner import default_root
+
+        repo_baseline = (default_root().parent.parent
+                         / "tests" / "staticcheck_baseline.json")
+        report = analyze_paths(baseline_path=repo_baseline)
+        assert report.unused_baseline == [], report.unused_baseline
+        assert report.ok, render_text(report)
+
+
+class TestReporters:
+    def test_text_summary_counts_by_rule(self):
+        findings = analyze_source(BAD_MODULE, "repro/core/example_mod.py")
+        from repro.staticcheck.model import Report
+
+        text = render_text(Report(findings=findings, files_analyzed=1))
+        assert "unit-mix: 1" in text and "heap-tiebreak: 1" in text
+
+    def test_json_payload_is_complete(self):
+        from repro.staticcheck.model import Report
+
+        findings = analyze_source(BAD_MODULE, "repro/core/example_mod.py")
+        payload = to_json(Report(findings=findings, files_analyzed=1))
+        assert payload["tool"] == "repro.staticcheck"
+        assert payload["ok"] is False
+        first = payload["findings"][0]
+        assert {"rule", "path", "line", "message", "source", "severity",
+                "fix_hint"} <= set(first)
+        json.dumps(payload)  # must be serialisable as-is
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        src = tmp_path / "clean_mod.py"
+        src.write_text('"""Clean."""\n', encoding="utf-8")
+        assert main([str(src), "--no-waivers"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        src = tmp_path / "bad_mod.py"
+        src.write_text(BAD_MODULE, encoding="utf-8")
+        assert main([str(src), "--no-waivers"]) == 1
+        out = capsys.readouterr().out
+        assert "[unit-mix]" in out and "[heap-tiebreak]" in out
+
+    def test_rule_filter(self, tmp_path, capsys):
+        src = tmp_path / "bad_mod.py"
+        src.write_text(BAD_MODULE, encoding="utf-8")
+        assert main([str(src), "--no-waivers", "--rule", "unit-mix"]) == 1
+        out = capsys.readouterr().out
+        assert "[unit-mix]" in out and "heap-tiebreak" not in out
+
+    def test_baseline_flow_end_to_end(self, tmp_path, capsys):
+        src = tmp_path / "bad_mod.py"
+        src.write_text(BAD_MODULE, encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        assert main([str(src), "--no-waivers",
+                     "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        # With the baseline applied the same tree is green...
+        assert main([str(src), "--no-waivers",
+                     "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        # ...and once the file is fixed, the stale entries fail the run.
+        src.write_text('"""Clean now."""\n', encoding="utf-8")
+        assert main([str(src), "--no-waivers",
+                     "--baseline", str(baseline)]) == 1
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("unit-mix", "heap-tiebreak", "pool-callable",
+                        "float-eq"):
+            assert rule_id in out
+
+    def test_output_file(self, tmp_path):
+        src = tmp_path / "clean_mod.py"
+        src.write_text('"""Clean."""\n', encoding="utf-8")
+        out_file = tmp_path / "report.txt"
+        assert main([str(src), "--no-waivers",
+                     "--output", str(out_file)]) == 0
+        assert "0 finding(s)" in out_file.read_text(encoding="utf-8")
