@@ -201,6 +201,12 @@ class CovertChannel(abc.ABC):
         self.probe_class = probe_class_for(self.location, max_bits)
         self._calibrator: Optional[Calibrator] = None
         self._calibrated_symbols: "tuple[int, ...]" = ()
+        # Loop construction and slot sizing are pure functions of the
+        # requested operating point (the electrical model is immutable),
+        # so they are memoised per channel, keyed by the requested
+        # frequency.  Loops are frozen dataclasses — safe to share.
+        self._loop_cache: dict = {}
+        self._slot_ns_cache: dict = {}
 
     # -- subclass hooks ------------------------------------------------------
 
@@ -272,12 +278,18 @@ class CovertChannel(abc.ABC):
         """
         if symbol not in self.symbol_classes:
             raise ProtocolError(f"symbol must be 0..3, got {symbol}")
+        key = ("sender", symbol, self.system.pmu.requested_freq_ghz)
+        cached = self._loop_cache.get(key)
+        if cached is not None:
+            return cached
         iclass = self.symbol_classes[symbol]
         worst_dv = max(self._sender_dv(c) for c in self.symbol_classes.values())
         wall = max(self._min_wall_ns(self.config.sender_iterations),
                    1.5 * self._tp_estimate_ns(worst_dv))
-        return Loop(iclass, self._iterations_for_wall(iclass, wall),
+        loop = Loop(iclass, self._iterations_for_wall(iclass, wall),
                     self.config.block_instructions)
+        self._loop_cache[key] = loop
+        return loop
 
     def probe_loop(self) -> Loop:
         """The receiver's measurement loop (sized to outlast any TP).
@@ -288,6 +300,10 @@ class CovertChannel(abc.ABC):
         at most the sender's ramp; cross-core probes queue behind the
         sender and then pay their own ramp on top.
         """
+        key = ("probe", self.system.pmu.requested_freq_ghz)
+        cached = self._loop_cache.get(key)
+        if cached is not None:
+            return cached
         worst_sender_dv = max(
             self._sender_dv(iclass) for iclass in self.symbol_classes.values()
         )
@@ -300,9 +316,11 @@ class CovertChannel(abc.ABC):
             worst_dv = worst_sender_dv + probe_dv
         wall = max(self._min_wall_ns(self.config.probe_iterations),
                    1.5 * self._tp_estimate_ns(worst_dv))
-        return Loop(self.probe_class,
+        loop = Loop(self.probe_class,
                     self._iterations_for_wall(self.probe_class, wall),
                     self.config.block_instructions)
+        self._loop_cache[key] = loop
+        return loop
 
     # -- slot execution -----------------------------------------------------------
 
@@ -317,6 +335,9 @@ class CovertChannel(abc.ABC):
         if not self.config.adaptive_slot:
             return us_to_ns(self.config.slot_us)
         freq, _ = self._operating_point()
+        cached = self._slot_ns_cache.get(freq)
+        if cached is not None:
+            return cached
         share = 2.0 if self.location == ChannelLocation.ACROSS_SMT else 1.0
 
         def wall_ns(loop: Loop) -> float:
@@ -328,7 +349,9 @@ class CovertChannel(abc.ABC):
         send_window += self.config.cross_core_delay_ns
         reset_ns = us_to_ns(self.system.config.reset_time_us)
         needed = reset_ns + send_window + us_to_ns(10.0)
-        return max(us_to_ns(self.config.slot_us), needed)
+        result = max(us_to_ns(self.config.slot_us), needed)
+        self._slot_ns_cache[freq] = result
+        return result
 
     def party_schedule(self, schedule: SlotSchedule,
                        party: str) -> SlotSchedule:

@@ -24,7 +24,7 @@ import bisect
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -159,8 +159,13 @@ class VoltageRegulator:
     name: str = "vr"
     _segments: List[_Segment] = field(default_factory=list)
     _starts: List[float] = field(default_factory=list)
+    _t0s: List[float] = field(default_factory=list)
+    _t1s: List[float] = field(default_factory=list)
+    _v0s: List[float] = field(default_factory=list)
+    _v1s: List[float] = field(default_factory=list)
     _busy_until: float = 0.0
     _last_command_ns: float = 0.0
+    _array_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None
 
     def __post_init__(self) -> None:
         if self.v_initial <= 0:
@@ -170,6 +175,13 @@ class VoltageRegulator:
     def _append_segment(self, segment: _Segment) -> None:
         self._segments.append(segment)
         self._starts.append(segment.t_start)
+        # Flat per-field histories for vectorized evaluation; kept in
+        # plain lists (cheap appends) and converted to arrays lazily.
+        self._t0s.append(segment.t_start)
+        self._t1s.append(segment.t_end)
+        self._v0s.append(segment.v_start)
+        self._v1s.append(segment.v_end)
+        self._array_cache = None
 
     # -- queries -----------------------------------------------------------
 
@@ -195,6 +207,45 @@ class VoltageRegulator:
         if idx < 0:
             return self._segments[0].v_start
         return self._segments[idx].voltage_at(t_ns)
+
+    def voltages_at(self, times_ns: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`voltage_at` over an array of sample times.
+
+        Bit-identical to the scalar path: segment selection uses the same
+        ``bisect_right - 1`` rule (via :func:`numpy.searchsorted`) and the
+        interpolation applies the exact clamped-fraction formula of
+        :meth:`_Segment.voltage_at` elementwise — IEEE-754 arithmetic on
+        float64 scalars and numpy float64 lanes agrees operation for
+        operation, so every returned value equals the scalar result to
+        the last bit.  Times before the first segment return its start
+        voltage, matching the scalar fallback.
+        """
+        if not self._segments:
+            raise SimulationError("regulator has no history")
+        cache = self._array_cache
+        if cache is None:
+            cache = (np.asarray(self._t0s, dtype=float),
+                     np.asarray(self._t1s, dtype=float),
+                     np.asarray(self._v0s, dtype=float),
+                     np.asarray(self._v1s, dtype=float))
+            self._array_cache = cache
+        t0s, t1s, v0s, v1s = cache
+        times = np.asarray(times_ns, dtype=float)
+        idx = np.searchsorted(t0s, times, side="right") - 1
+        before_first = idx < 0
+        idx = np.maximum(idx, 0)
+        t0 = t0s[idx]
+        t1 = t1s[idx]
+        v0 = v0s[idx]
+        v1 = v1s[idx]
+        span = t1 - t0
+        degenerate = span <= 0.0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = (times - t0) / span
+        frac = np.minimum(1.0, np.maximum(0.0, frac))
+        out = v0 + frac * (v1 - v0)
+        out = np.where(degenerate, v1, out)
+        return np.where(before_first, v0s[0], out)
 
     def settled_voltage(self) -> float:
         """The target of the most recent command (the eventual voltage)."""
@@ -260,6 +311,11 @@ class VoltageRegulator:
         level = min(self.spec.quantize_vid(vcc), self.spec.vcc_max)
         self._segments = [_Segment(0.0, 0.0, level, level)]
         self._starts = [0.0]
+        self._t0s = [0.0]
+        self._t1s = [0.0]
+        self._v0s = [level]
+        self._v1s = [level]
+        self._array_cache = None
         self._busy_until = 0.0
 
     def history(self) -> List[Tuple[float, float]]:

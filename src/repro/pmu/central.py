@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Optional, Sequence, Set
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set
 
 from repro.errors import ConfigError, SimulationError
 from repro.isa.instructions import IClass
@@ -128,6 +128,11 @@ class CentralPMU:
         #: Fired after any throttle/frequency state change; the system
         #: hooks this to recompute execution rates and record traces.
         self.on_state_change: Optional[Callable[[], None]] = None
+        # _allowed_freq memo: the electrical models and ladder are fixed
+        # for the PMU's lifetime, so the answer depends only on the
+        # requested frequency, the candidate coverage, the active-core
+        # set and the current grants — all captured in the key.
+        self._allowed_cache: Dict[tuple, float] = {}
         #: Count of voltage transitions issued, per rail (for reports).
         self.transitions_issued: List[int] = [0] * len(rails)
 
@@ -276,6 +281,11 @@ class CentralPMU:
         turbo license; idle cores are clock-gated.  A core that is in
         ``classes`` above its grant is being woken, so it always counts.
         """
+        key = (self.requested_freq_ghz, tuple(classes),
+               tuple(sorted(self.active_cores)), tuple(self.granted))
+        cached = self._allowed_cache.get(key)
+        if cached is not None:
+            return cached
         active = [
             iclass
             for core, iclass in enumerate(classes)
@@ -287,7 +297,9 @@ class CentralPMU:
             self.requested_freq_ghz,
             self.licenses.package_ceiling(active),
         )
-        return self.limits.max_allowed(ceiling, active, self.ladder).freq_ghz
+        allowed = self.limits.max_allowed(ceiling, active, self.ladder).freq_ghz
+        self._allowed_cache[key] = allowed
+        return allowed
 
     def _kick(self, rail: int) -> None:
         """Start the next queued transition on ``rail`` if it is idle."""

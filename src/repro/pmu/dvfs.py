@@ -38,9 +38,17 @@ class VFCurve:
             raise ConfigError(f"V/F curve frequencies must increase: {freqs}")
         if any(v <= 0 for _, v in self.points):
             raise ConfigError("V/F curve voltages must be positive")
+        # Memo table for vcc_for: the simulator queries a handful of
+        # distinct frequencies (the P-state bins) millions of times.  The
+        # curve is immutable, so caching returns the exact same floats
+        # the cold path computes.
+        object.__setattr__(self, "_vcc_cache", {})
 
     def vcc_for(self, freq_ghz: float) -> float:
         """Baseline voltage for scalar code at ``freq_ghz``."""
+        cached = self._vcc_cache.get(freq_ghz)
+        if cached is not None:
+            return cached
         if freq_ghz <= 0:
             raise ConfigError(f"frequency must be positive, got {freq_ghz}")
         pts = self.points
@@ -56,7 +64,9 @@ class VFCurve:
                     break
         slope = (hi[1] - lo[1]) / (hi[0] - lo[0])
         vcc = lo[1] + slope * (freq_ghz - lo[0])
-        return max(vcc, self.vcc_floor)
+        result = max(vcc, self.vcc_floor)
+        self._vcc_cache[freq_ghz] = result
+        return result
 
 
 @dataclass(frozen=True)

@@ -39,11 +39,19 @@ def license_for_class(iclass: IClass) -> TurboLicense:
     stays at LVL0; heavy 256-bit and light 512-bit code needs LVL1; heavy
     512-bit code needs LVL2.
     """
-    if iclass == IClass.HEAVY_512:
-        return TurboLicense.LVL2
-    if iclass in (IClass.HEAVY_256, IClass.LIGHT_512):
-        return TurboLicense.LVL1
-    return TurboLicense.LVL0
+    return _LICENSE_OF[iclass]
+
+
+#: Precomputed class-to-license map; :func:`license_for_class` is on the
+#: frequency-reconciliation hot path.
+_LICENSE_OF: Dict[IClass, TurboLicense] = {
+    iclass: (
+        TurboLicense.LVL2 if iclass == IClass.HEAVY_512
+        else TurboLicense.LVL1 if iclass in (IClass.HEAVY_256, IClass.LIGHT_512)
+        else TurboLicense.LVL0
+    )
+    for iclass in IClass
+}
 
 
 @dataclass(frozen=True)
@@ -64,6 +72,10 @@ class TurboLicenseTable:
             row = self.ceilings[license_level]
             if not row or any(f <= 0 for f in row):
                 raise ConfigError(f"bad turbo ceiling row for {license_level}: {row}")
+        # package_ceiling is pure in the class coverage and queried per
+        # frequency reconciliation; the table never changes after
+        # construction, so the memo hands back the exact ceiling floats.
+        object.__setattr__(self, "_ceiling_cache", {})
 
     def max_freq(self, license_level: TurboLicense, active_cores: int) -> float:
         """Frequency ceiling for the given license and core count."""
@@ -78,7 +90,13 @@ class TurboLicenseTable:
         The package license is the most restrictive (highest) per-core
         license, evaluated at the total active-core count.
         """
-        if not per_core_classes:
+        key = tuple(per_core_classes)
+        cached = self._ceiling_cache.get(key)
+        if cached is not None:
+            return cached
+        if not key:
             raise ConfigError("at least one active core is required")
-        worst = max(license_for_class(c) for c in per_core_classes)
-        return self.max_freq(worst, len(per_core_classes))
+        worst = max(_LICENSE_OF[c] for c in key)
+        ceiling = self.max_freq(worst, len(key))
+        self._ceiling_cache[key] = ceiling
+        return ceiling

@@ -19,6 +19,7 @@ measurements:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Tuple
 
@@ -93,8 +94,14 @@ class ProcessorConfig:
         return self.smt_per_core > 1
 
     def vf_curve(self) -> VFCurve:
-        """The part's V/F curve."""
-        return VFCurve(self.vf_points)
+        """The part's V/F curve.
+
+        Curves are interned per point set: :class:`VFCurve` is immutable,
+        so every system built from the same preset shares one instance —
+        and with it the curve's ``vcc_for`` memo table, which a figure
+        sweep constructing dozens of systems would otherwise re-fill.
+        """
+        return _interned_curve(self.vf_points)
 
     def vr_spec(self) -> VRSpec:
         """The part's voltage-regulator electrical spec."""
@@ -108,12 +115,34 @@ class ProcessorConfig:
         )
 
     def license_table(self) -> TurboLicenseTable:
-        """The part's turbo-license frequency ceilings."""
-        return TurboLicenseTable(dict(self.turbo_ceilings))
+        """The part's turbo-license frequency ceilings.
+
+        Tables are interned per ceiling set (same rationale as
+        :meth:`vf_curve`): nothing mutates a constructed table, so
+        sharing one instance across systems also shares its
+        ``package_ceiling`` memo.
+        """
+        key = tuple(sorted(
+            (level.value, row) for level, row in self.turbo_ceilings.items()
+        ))
+        return _interned_license_table(key)
 
     def with_overrides(self, **kwargs) -> "ProcessorConfig":
         """A copy with selected fields replaced (for ablations)."""
         return replace(self, **kwargs)
+
+
+@functools.lru_cache(maxsize=None)
+def _interned_curve(vf_points: Tuple[Tuple[float, float], ...]) -> VFCurve:
+    return VFCurve(vf_points)
+
+
+@functools.lru_cache(maxsize=None)
+def _interned_license_table(
+        key: Tuple[Tuple[int, Tuple[float, ...]], ...]) -> TurboLicenseTable:
+    return TurboLicenseTable(
+        {TurboLicense(value): row for value, row in key}
+    )
 
 
 def haswell_i7_4770k() -> ProcessorConfig:

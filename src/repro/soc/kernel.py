@@ -1,0 +1,240 @@
+"""Batch fast-path for the event engine (``repro.soc.kernel``).
+
+The scalar engine records every observable trace point inline, inside
+:meth:`repro.soc.system.System._record_state`: each recompute walks the
+cores, re-derives Cdyn/throttle/activity values per core *per record*,
+reads the rail history and steps the thermal model.  For current-
+management workloads — where every voltage settle, hysteresis expiry and
+completion triggers a full recompute — that recording dominates the run
+time even though nothing program-visible happens between yield points.
+
+This module implements the batch kernel described in the simulator docs
+(:doc:`docs/KERNEL.md`): between *program-visible* events the system
+defers trace recording into a pending capture list, and replays it in
+one flush when anything that could observe the traces is about to run.
+The segmentation is event-driven rather than time-driven:
+
+* the engine calls :meth:`KernelBatch.before_event` ahead of every
+  dispatched callback; callbacks in the *mechanical* set (voltage
+  settles, frequency-change completions, rail retarget settles, loop
+  completions, hysteresis checks) provably never read the deferred
+  traces, so captures keep accumulating across them;
+* any other callback — a program resuming via ``System._advance``, a
+  noise process, an externally scheduled hook — forces a flush first,
+  so user code always observes exactly the trace state the scalar
+  engine would have produced.
+
+Bit-identity contract (enforced by ``repro.verify`` and the
+differential harness in :mod:`repro.verify.differential`):
+
+* captured values are computed at capture time from the same state the
+  scalar ``_record_state`` would have read, with the same expressions;
+* the rail voltage is evaluated lazily at flush time — sound because
+  :class:`~repro.pdn.regulator.VoltageRegulator` history is append-only
+  and a segment boundary voltage equals the value the pre-command
+  history gives at that instant, so ``voltage_at(t)`` for any past ``t``
+  is invariant under later commands;
+* large flushes use the vectorized ``voltages_at``, which applies the
+  scalar clamped-fraction formula elementwise in float64 (IEEE-754
+  lanes agree with scalar arithmetic bit for bit);
+* ``StepTrace.record`` is idempotent for repeated identical
+  ``(time, value)`` calls (same-time records overwrite), so the
+  ``n_cores`` identical records the scalar ``_recompute_all`` issues
+  collapse into one replayed record per trace — except the thermal
+  chain, where each zero-dt ``ThermalModel.advance`` perturbs the
+  temperature state at ULP level and is therefore replayed once per
+  repeat, preserving the scalar float trajectory exactly.
+
+The kernel never changes *simulation* state evolution — activities,
+PMU requests, rail commands and local-PMU hysteresis all advance
+identically; only the recording of observables is deferred.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.isa.instructions import LABEL
+
+#: Flushes with at least this many state captures evaluate the rail
+#: with one vectorized ``voltages_at`` call; smaller batches use the
+#: scalar bisect per capture (identical values either way).
+VECTOR_THRESHOLD = 32
+
+
+def _mechanical_callbacks(system: Any) -> FrozenSet[Callable[..., Any]]:
+    """The closed set of callbacks that never observe deferred traces.
+
+    Imported lazily to avoid a cycle with :mod:`repro.soc.system`
+    (which imports this module at top level).  Membership is tested
+    against the *underlying function* of the scheduled bound method, so
+    a subclass override of any of these drops out of the set and takes
+    the flush-first path — conservative by construction.
+    """
+    from repro.pmu.central import CentralPMU
+    from repro.soc.system import System
+
+    return frozenset({
+        CentralPMU._on_settle,
+        CentralPMU._finish_freq_change,
+        CentralPMU._on_retarget_settle,
+        System._complete,
+        System._hysteresis_check,
+    })
+
+
+class KernelBatch:
+    """Deferred-trace recorder driven by the engine's dispatch hook.
+
+    One instance is installed per kernel-eligible
+    :class:`~repro.soc.system.System` (``SystemOptions.kernel ==
+    "auto"``, no C-states, no governor, no fault injector).  The system
+    routes its recording through :meth:`capture_state` /
+    :meth:`defer_freq` instead of writing traces inline; the engine
+    calls :meth:`before_event` ahead of every dispatch.
+    """
+
+    __slots__ = ("system", "_mechanical", "_pending",
+                 "captures", "flushes", "vector_flushes",
+                 "mechanical_events", "barrier_events", "max_batch")
+
+    def __init__(self, system: Any) -> None:
+        self.system = system
+        self._mechanical = _mechanical_callbacks(system)
+        #: Chronological deferred records.  Two shapes:
+        #: ``("freq", t, freq)`` for the direct frequency record issued
+        #: by ``_on_pmu_state_change`` ahead of its recompute, and
+        #: ``("state", t, total_cdyn, freq, throttles, labels, repeats)``
+        #: for one full ``_record_state`` worth of observables,
+        #: collapsed across ``repeats`` identical scalar records.
+        self._pending: List[Tuple[Any, ...]] = []
+        self.captures = 0
+        self.flushes = 0
+        self.vector_flushes = 0
+        self.mechanical_events = 0
+        self.barrier_events = 0
+        self.max_batch = 0
+
+    # -- engine hook -------------------------------------------------------
+
+    def before_event(self, callback: Callable[..., Any]) -> None:
+        """Flush ahead of any callback outside the mechanical set."""
+        if getattr(callback, "__func__", callback) in self._mechanical:
+            self.mechanical_events += 1
+            return
+        self.barrier_events += 1
+        if self._pending:
+            self.flush()
+
+    # -- capture -----------------------------------------------------------
+
+    def defer_freq(self, t_ns: float, freq_ghz: float) -> None:
+        """Defer a direct frequency-trace record (PMU state change)."""
+        self._pending.append(("freq", t_ns, freq_ghz))
+
+    def capture_state(self, repeats: int) -> None:
+        """Capture one ``_record_state`` worth of observables.
+
+        ``repeats`` is the number of identical back-to-back records the
+        scalar path would have issued (``n_cores`` for a full
+        ``_recompute_all``, 1 for a standalone core recompute); it only
+        affects the thermal replay, where zero-dt advances are not
+        float no-ops.
+        """
+        system = self.system
+        now = system.engine.now
+        pmu = system.pmu
+        n_cores = system.config.n_cores
+        core_cdyn = system._core_cdyn
+        total_cdyn = sum(core_cdyn(core) for core in range(n_cores))
+        is_throttled = pmu.is_core_throttled
+        throttles = tuple(
+            1 if is_throttled(core) else 0 for core in range(n_cores)
+        )
+        labels: List[str] = []
+        for threads in system._core_threads:
+            top = None
+            for thread in threads:
+                activity = thread.activity
+                if activity is not None:
+                    iclass = activity.loop.iclass
+                    if top is None or iclass > top:
+                        top = iclass
+            labels.append(LABEL[top] if top is not None else "idle")
+        self._pending.append(("state", now, total_cdyn, pmu.freq_ghz,
+                              throttles, tuple(labels), repeats))
+        self.captures += 1
+
+    @property
+    def pending_captures(self) -> int:
+        """Deferred records not yet replayed (test/introspection hook)."""
+        return len(self._pending)
+
+    # -- replay ------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Replay every pending capture into the system's traces.
+
+        Replays in capture order, so each individual trace sees its
+        records chronologically.  The rail voltage for each state
+        capture is evaluated here — past-time lookups are invariant
+        under the commands issued since capture (append-only history).
+        """
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        self.flushes += 1
+        if len(pending) > self.max_batch:
+            self.max_batch = len(pending)
+
+        system = self.system
+        rail = system.pmu.rail_of(0)
+        state_times = [entry[1] for entry in pending if entry[0] == "state"]
+        if len(state_times) >= VECTOR_THRESHOLD:
+            self.vector_flushes += 1
+            vccs = [float(v) for v in
+                    rail.voltages_at(np.asarray(state_times, dtype=float))]
+        else:
+            voltage_at = rail.voltage_at
+            vccs = [voltage_at(t) for t in state_times]
+
+        cdyn_record = system.cdyn_trace.record
+        freq_record = system.freq_trace.record
+        throttle_records = [trace.record for trace in system.throttle_traces]
+        activity_records = [trace.record for trace in system.activity_traces]
+        temp_record = system.temp_trace.record
+        advance = system.thermal.advance
+        n_cores = system.config.n_cores
+        vcc_index = 0
+        for entry in pending:
+            if entry[0] == "freq":
+                freq_record(entry[1], entry[2])
+                continue
+            _, now, total_cdyn, freq, throttles, labels, repeats = entry
+            vcc = vccs[vcc_index]
+            vcc_index += 1
+            cdyn_record(now, total_cdyn)
+            freq_record(now, freq)
+            for core in range(n_cores):
+                throttle_records[core](now, throttles[core])
+                activity_records[core](now, labels[core])
+            power = total_cdyn * vcc * vcc * freq
+            for _ in range(repeats):
+                temp_record(now, advance(now, power))
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for benchmarks and the differential report."""
+        return {
+            "captures": self.captures,
+            "flushes": self.flushes,
+            "vector_flushes": self.vector_flushes,
+            "mechanical_events": self.mechanical_events,
+            "barrier_events": self.barrier_events,
+            "max_batch": self.max_batch,
+            "pending": len(self._pending),
+        }

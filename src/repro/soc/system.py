@@ -23,13 +23,14 @@ used here (quarter-rate throttling, SMT sharing).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigError, SimulationError
-from repro.isa.instructions import IClass
+from repro.isa.instructions import CDYN_NF, IPC, LABEL, IClass
 from repro.isa.workload import Loop, PhaseTrace, uniform_loop
 from repro.measure.sampler import PiecewiseConstantSignal, PiecewiseLinearSignal
 from repro.measure.trace import StepTrace
@@ -48,6 +49,7 @@ from repro.pmu.local import LocalPMU
 from repro.pmu.thermal import ThermalModel
 from repro.soc.config import ProcessorConfig
 from repro.soc.engine import Engine, EventHandle
+from repro.soc.kernel import KernelBatch
 from repro.units import mohm_to_ohm, us_to_ns
 
 #: Throttle divides the delivery rate by this factor (1 open cycle in 4).
@@ -79,6 +81,15 @@ class SystemOptions:
         their guardband.  The droop model then reports the voltage
         emergencies the real mechanism exists to prevent
         (:attr:`System.voltage_emergencies`).
+    kernel:
+        Batch-kernel mode (see :mod:`repro.soc.kernel` and
+        ``docs/KERNEL.md``).  ``"auto"`` installs the deferred-trace
+        fast path when the system is eligible (no C-states, no
+        governor, no fault injector) and falls back to the scalar
+        reference engine otherwise; ``"off"`` always runs scalar.
+        Defaults from the ``REPRO_KERNEL`` environment variable, read
+        at construction time, so whole scenario runs can be switched
+        without code changes.
     """
 
     per_core_vr: bool = False
@@ -86,6 +97,15 @@ class SystemOptions:
     improved_throttling: bool = False
     secure_mode: bool = False
     disable_throttling: bool = False
+    kernel: str = field(
+        default_factory=lambda: os.environ.get("REPRO_KERNEL", "auto")
+    )
+
+    def __post_init__(self) -> None:
+        if self.kernel not in ("off", "auto"):
+            raise ConfigError(
+                f"kernel mode must be 'off' or 'auto', got {self.kernel!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -189,10 +209,14 @@ class System:
     """A simulated processor executing programs."""
 
     def __init__(self, config: ProcessorConfig,
-                 options: SystemOptions = SystemOptions(),
+                 options: Optional[SystemOptions] = None,
                  governor_freq_ghz: Optional[float] = None,
                  governor: Optional["Governor"] = None,
                  seed: int = 2021) -> None:
+        if options is None:
+            # Built per-construction (not as a signature default) so the
+            # REPRO_KERNEL environment override is read at call time.
+            options = SystemOptions()
         self.config = config
         self.options = options
         self.engine = Engine()
@@ -202,6 +226,9 @@ class System:
         #: :meth:`repro.faults.FaultInjector.attach`; layers below the
         #: fault subsystem (channels, schedules) consult it duck-typed.
         self.faults: Optional[object] = None
+        #: Batch-kernel recorder; stays None until construction-time
+        #: recording (scalar reference path) has finished.
+        self._recorder: Optional[KernelBatch] = None
 
         if governor is not None and governor_freq_ghz is not None:
             raise ConfigError(
@@ -285,6 +312,13 @@ class System:
             for core in range(config.n_cores)
             for slot in range(config.smt_per_core)
         ]
+        #: Threads grouped by core, in thread-id order — the recompute
+        #: paths walk one core's threads far too often for a filtered
+        #: scan over the full list.
+        self._core_threads: List[List[_HWThread]] = [
+            [t for t in self.threads if t.core_id == core]
+            for core in range(config.n_cores)
+        ]
         self._hysteresis_checks: List[Optional[EventHandle]] = [None] * config.n_cores
         self._processes: List[_Process] = []
 
@@ -304,6 +338,60 @@ class System:
         # Apply license/limit clamping for the initial operating point.
         self.pmu.set_requested_freq(requested)
 
+        # Batch kernel: installed last so construction records run the
+        # scalar reference path.  Eligibility is conservative — any
+        # feature whose callbacks are not in the mechanical set keeps
+        # the whole system scalar (docs/KERNEL.md).
+        if (options.kernel == "auto" and self.cstates is None
+                and governor is None):
+            self._recorder = KernelBatch(self)
+            self.engine.install_kernel(self._recorder)
+
+    # -- batch kernel -----------------------------------------------------------
+
+    @property
+    def kernel_active(self) -> bool:
+        """Whether the batch fast path is currently installed."""
+        return self._recorder is not None
+
+    def kernel_stats(self) -> Optional[Dict[str, int]]:
+        """Batch-kernel counters, or None when running scalar."""
+        return None if self._recorder is None else self._recorder.stats()
+
+    def sync_traces(self) -> None:
+        """Replay any deferred trace records (no-op on the scalar path).
+
+        Public flush point: every trace-reading accessor calls it, and
+        code that reads ``freq_trace``/``cdyn_trace``/... attributes
+        directly mid-run must call it first (docs/KERNEL.md).
+        """
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.flush()
+
+    def _active_recorder(self) -> Optional[KernelBatch]:
+        """The recorder to capture into, demoting to scalar on faults.
+
+        A fault injector attaches after construction and its hooks are
+        not in the mechanical set, so the first capture attempt after
+        attachment flushes what is pending and uninstalls the kernel
+        for good — the run continues on the scalar reference path.
+        """
+        recorder = self._recorder
+        if recorder is None:
+            return None
+        if self.faults is not None:
+            self._disable_kernel()
+            return None
+        return recorder
+
+    def _disable_kernel(self) -> None:
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.flush()
+            self._recorder = None
+            self.engine.install_kernel(None)
+
     # -- time and measurement ---------------------------------------------------
 
     @property
@@ -321,6 +409,7 @@ class System:
 
     def icc_at(self, t_ns: float) -> float:
         """Package supply current at ``t_ns`` (Cdyn * V * f)."""
+        self.sync_traces()
         cdyn = self.cdyn_trace.value_at(t_ns, default=0.0)
         freq = self.freq_trace.value_at(t_ns, default=self.pmu.freq_ghz)
         vcc = self.vcc_at(t_ns)
@@ -341,11 +430,13 @@ class System:
         of one history lookup per sample.  Snapshot semantics: commands
         issued after the call are not reflected.
         """
+        self.sync_traces()
         times, volts = self.pmu.rail_of(core).breakpoints()
         return PiecewiseLinearSignal(times, volts, name=f"vcc_core{core}")
 
     def freq_signal(self) -> PiecewiseConstantSignal:
         """A vectorizable snapshot of the package frequency trace."""
+        self.sync_traces()
         return self.freq_trace.signal(default=self.pmu.freq_ghz)
 
     def icc_signal(self) -> PiecewiseLinearSignal:
@@ -358,6 +449,7 @@ class System:
         breakpoint times (left value first), which ``np.interp``
         resolves right-continuously — matching :meth:`icc_at` exactly.
         """
+        self.sync_traces()
         vcc_times, vcc_volts = self.pmu.rail_of(0).breakpoints()
         cdyn = self.cdyn_trace.signal(default=0.0)
         freq = self.freq_trace.signal(default=self.pmu.freq_ghz)
@@ -421,10 +513,12 @@ class System:
     def run_until(self, time_ns: float) -> None:
         """Advance the simulation to ``time_ns``."""
         self.engine.run_until(time_ns)
+        self.sync_traces()
 
     def run_to_completion(self, max_events: int = 10_000_000) -> None:
         """Run until every scheduled event (and program) has finished."""
         self.engine.run(max_events)
+        self.sync_traces()
 
     def apply_governor(self, governor: Governor) -> None:
         """Apply a software frequency policy at runtime (Section 5.7).
@@ -439,6 +533,8 @@ class System:
                 f"governor requested {requested} GHz outside "
                 f"[{self.config.min_freq_ghz}, {self.config.max_turbo_ghz}]"
             )
+        # Governed runs take the scalar reference path from here on.
+        self._disable_kernel()
         self.pmu.set_requested_freq(requested)
 
     # -- noise hooks ------------------------------------------------------------
@@ -546,14 +642,15 @@ class System:
         self.local_pmus[thread.core_id].note_execute(activity.loop.iclass, now)
         thread.activity = None
         core_busy = any(
-            t.activity is not None
-            for t in self.threads
-            if t.core_id == thread.core_id
+            t.activity is not None for t in self._core_threads[thread.core_id]
         )
         if self.cstates is not None and not core_busy:
             self.cstates.note_idle(thread.core_id, now)
         self.pmu.set_core_active(thread.core_id, core_busy)
         self._recompute_core(thread.core_id)
+        # The resumed program may observe traces immediately (rdtsc
+        # deltas, icc reads); hand it the fully replayed state.
+        self.sync_traces()
         activity.resume(result)
 
     def _thread_throttled(self, thread: _HWThread) -> bool:
@@ -571,14 +668,14 @@ class System:
         if activity is None or thread.suspensions > 0:
             return 0.0
         freq = self.pmu.freq_ghz
-        rate = activity.loop.iclass.ipc * freq / max(1, runnable_siblings)
+        rate = IPC[activity.loop.iclass] * freq / max(1, runnable_siblings)
         if self._thread_throttled(thread):
             rate /= THROTTLE_FACTOR
         return rate
 
-    def _recompute_core(self, core: int) -> None:
+    def _recompute_core(self, core: int, _record: bool = True) -> None:
         now = self.engine.now
-        members = [t for t in self.threads if t.core_id == core]
+        members = self._core_threads[core]
         runnable = sum(1 for t in members if t.runnable)
         for thread in members:
             activity = thread.activity
@@ -589,14 +686,35 @@ class System:
             activity.rate_throttled = self._thread_throttled(thread)
             self._check_voltage_emergency(thread)
             self._reschedule_completion(thread)
-        self._record_state()
+        if not _record:
+            return
+        recorder = self._active_recorder()
+        if recorder is None:
+            self._record_state()
+        else:
+            recorder.capture_state(1)
 
     def _recompute_all(self) -> None:
+        recorder = self._active_recorder()
+        if recorder is None:
+            for core in range(self.config.n_cores):
+                self._recompute_core(core)
+            return
+        # The per-core inner recomputes leave every recorded observable
+        # (Cdyn, throttle, activity class, frequency, rail voltage)
+        # untouched, so the scalar path's n_cores interleaved records
+        # are exact duplicates — captured once with the repeat count so
+        # the thermal replay preserves the scalar float trajectory.
         for core in range(self.config.n_cores):
-            self._recompute_core(core)
+            self._recompute_core(core, _record=False)
+        recorder.capture_state(self.config.n_cores)
 
     def _on_pmu_state_change(self) -> None:
-        self.freq_trace.record(self.engine.now, self.pmu.freq_ghz)
+        recorder = self._active_recorder()
+        if recorder is None:
+            self.freq_trace.record(self.engine.now, self.pmu.freq_ghz)
+        else:
+            recorder.defer_freq(self.engine.now, self.pmu.freq_ghz)
         self._recompute_all()
 
     def _update_progress(self, thread: _HWThread, now: float) -> None:
@@ -675,8 +793,8 @@ class System:
 
     def _core_requirement(self, core: int, now: float) -> IClass:
         requirement = self.local_pmus[core].requirement(now)
-        for thread in self.threads:
-            if thread.core_id == core and thread.activity is not None:
+        for thread in self._core_threads[core]:
+            if thread.activity is not None:
                 running = thread.activity.loop.iclass
                 if running > requirement:
                     requirement = running
@@ -699,8 +817,8 @@ class System:
         self._hysteresis_checks[core] = None
         now = self.engine.now
         # A still-running loop keeps its class fresh even with no events.
-        for thread in self.threads:
-            if thread.core_id == core and thread.activity is not None:
+        for thread in self._core_threads[core]:
+            if thread.activity is not None:
                 self.local_pmus[core].note_execute(
                     thread.activity.loop.iclass, now,
                 )
@@ -714,14 +832,14 @@ class System:
     def _core_cdyn(self, core: int) -> float:
         classes = [
             t.activity.loop.iclass
-            for t in self.threads
-            if t.core_id == core and t.runnable and t.activity is not None
+            for t in self._core_threads[core]
+            if t.runnable and t.activity is not None
         ]
         if not classes:
             if self.cstates is not None:
                 return self.cstates.idle_cdyn_nf(core, self.engine.now)
             return IDLE_CDYN_NF
-        return max(c.cdyn_nf for c in classes)
+        return max(CDYN_NF[c] for c in classes)
 
     def _record_state(self) -> None:
         now = self.engine.now
@@ -734,12 +852,12 @@ class System:
             )
             classes = [
                 t.activity.loop.iclass
-                for t in self.threads
-                if t.core_id == core and t.activity is not None
+                for t in self._core_threads[core]
+                if t.activity is not None
             ]
             top = max(classes) if classes else None
             self.activity_traces[core].record(
-                now, top.label if top is not None else "idle",
+                now, LABEL[top] if top is not None else "idle",
             )
         vcc = self.vcc_at(now)
         freq = self.pmu.freq_ghz

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -133,6 +133,96 @@ def check_adaptive_plain_equivalence() -> DiffCheck:
                      ok=not detail, detail=detail)
 
 
+def _document_under_kernel(name: str, mode: str) -> dict:
+    """One golden scenario's canonical document under a kernel mode.
+
+    ``SystemOptions`` reads ``REPRO_KERNEL`` at construction time, so
+    flipping the environment variable around the scenario run switches
+    every system it builds between the batch kernel and the scalar
+    reference engine.
+    """
+    import os
+
+    from repro.verify.scenarios import compute_document
+
+    previous = os.environ.get("REPRO_KERNEL")
+    os.environ["REPRO_KERNEL"] = mode
+    try:
+        return compute_document(name)
+    finally:
+        if previous is None:
+            del os.environ["REPRO_KERNEL"]
+        else:
+            os.environ["REPRO_KERNEL"] = previous
+
+
+def check_kernel_scalar_equivalence(
+        names: Optional[Sequence[str]] = None) -> DiffCheck:
+    """Every committed golden scenario must be kernel/scalar identical.
+
+    Replays each scenario in the registry (or the given subset of
+    ``names``) twice in-process — ``REPRO_KERNEL=off`` (scalar
+    reference) and ``REPRO_KERNEL=auto`` (batch kernel where eligible)
+    — and diffs the full canonical documents leaf by leaf.  Exact
+    equality, no epsilon: the kernel's whole contract is that deferred
+    replay reproduces the scalar float trajectory bit for bit
+    (docs/KERNEL.md).
+    """
+    from repro.verify.scenarios import scenario_names
+
+    detail: List[str] = []
+    for name in (scenario_names() if names is None else names):
+        scalar = _document_under_kernel(name, "off")
+        kernel = _document_under_kernel(name, "auto")
+        lines = diff_documents(scalar, kernel)
+        for line in lines[:5]:
+            detail.append(f"{name}: {line}")
+        if len(lines) > 5:
+            detail.append(f"{name}: ... and {len(lines) - 5} more leaves")
+    return DiffCheck(name="kernel-scalar-equivalence",
+                     ok=not detail, detail=detail)
+
+
 def run_all() -> List[DiffCheck]:
     """Every differential check, in reporting order."""
-    return [check_sampler_bitwise(), check_adaptive_plain_equivalence()]
+    return [check_sampler_bitwise(), check_adaptive_plain_equivalence(),
+            check_kernel_scalar_equivalence()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.verify.differential`` — standalone report.
+
+    Runs every differential check and optionally writes a JSON report
+    (``--json PATH``), which CI uploads as the kernel-vs-scalar
+    differential artifact.  Exit status 0 only when every check passes.
+    """
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.differential",
+        description="Fast-path vs reference differential checks.")
+    parser.add_argument("--json", type=str, default=None, metavar="PATH",
+                        help="write a machine-readable report to PATH")
+    args = parser.parse_args(argv)
+
+    checks = run_all()
+    for check in checks:
+        print(check.render())
+    if args.json:
+        report = {
+            "ok": all(check.ok for check in checks),
+            "checks": [
+                {"name": check.name, "ok": check.ok, "detail": check.detail}
+                for check in checks
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if all(check.ok for check in checks) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

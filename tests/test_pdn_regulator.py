@@ -148,3 +148,41 @@ class TestVoltageRegulator:
     def test_rejects_nonpositive_initial_voltage(self):
         with pytest.raises(ConfigError):
             VoltageRegulator(make_spec(), 0.0)
+
+
+class TestVoltagesAtVectorized:
+    def _driven_vr(self):
+        vr = VoltageRegulator(make_spec(vid_step_mv=5.0), 0.8)
+        t = 0.0
+        for target in (0.85, 0.81, 0.9, 0.8, 0.87):
+            t = vr.command(t + 100.0, target) + 50.0
+        return vr, t
+
+    def test_bitwise_equal_to_scalar(self):
+        import numpy as np
+
+        vr, end = self._driven_vr()
+        times = np.unique(np.concatenate([
+            np.linspace(-5.0, end + 1_000.0, 4096),
+            np.asarray([t for t, _ in vr.history()]),
+        ]))
+        vectorized = vr.voltages_at(times)
+        scalar = np.asarray([vr.voltage_at(float(t)) for t in times])
+        assert np.array_equal(vectorized, scalar)
+
+    def test_history_append_keeps_past_lookups_invariant(self):
+        import numpy as np
+
+        vr, end = self._driven_vr()
+        times = np.linspace(0.0, end, 257)
+        before = vr.voltages_at(times)
+        vr.command(end + 10.0, 0.82)  # later command must not move the past
+        assert np.array_equal(vr.voltages_at(times), before)
+
+    def test_empty_and_single_sample(self):
+        import numpy as np
+
+        vr, _ = self._driven_vr()
+        assert vr.voltages_at(np.asarray([], dtype=float)).size == 0
+        single = vr.voltages_at(np.asarray([0.0]))
+        assert float(single[0]) == vr.voltage_at(0.0)

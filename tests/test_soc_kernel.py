@@ -1,0 +1,272 @@
+"""Batch kernel: eligibility, fallback, bit-identity and engine regressions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import IClass, Loop, System, SystemOptions
+from repro.core import IccThreadCovert
+from repro.errors import ConfigError
+from repro.faults import FaultInjector, SlotScheduleJitter
+from repro.pmu.governors import Governor, GovernorKind
+from repro.soc import Engine
+from repro.soc.config import cannon_lake_i3_8121u
+from repro.units import us_to_ns
+
+
+def _options(mode):
+    return SystemOptions(kernel=mode)
+
+
+def _run_busy_system(mode, payload=b"\x5a"):
+    """One covert transfer under the given kernel mode."""
+    system = System(cannon_lake_i3_8121u(), options=_options(mode))
+    report = IccThreadCovert(system).transfer(payload)
+    return system, report
+
+
+def _trace_state(system):
+    """Every observable trace as comparable breakpoint lists."""
+    state = {
+        "vcc": system.vcc_signal().breakpoints(),
+        "freq": system.freq_signal().breakpoints(),
+        "icc": system.icc_signal().breakpoints(),
+        "cdyn": system.cdyn_trace.breakpoints(),
+        "temp": system.temp_trace.breakpoints(),
+    }
+    for core, trace in enumerate(system.throttle_traces):
+        state[f"throttle{core}"] = trace.breakpoints()
+    for core, trace in enumerate(system.activity_traces):
+        state[f"activity{core}"] = trace.breakpoints()
+    return state
+
+
+def assert_identical_traces(scalar, kernel):
+    """Bitwise comparison of two systems' full trace state."""
+    left, right = _trace_state(scalar), _trace_state(kernel)
+    assert left.keys() == right.keys()
+    for name in left:
+        if name in ("vcc", "freq", "icc"):
+            lt, lv = left[name]
+            rt, rv = right[name]
+            assert np.array_equal(lt, rt), f"{name} breakpoint times differ"
+            assert np.array_equal(lv, rv), f"{name} breakpoint values differ"
+        else:
+            assert left[name] == right[name], f"{name} breakpoints differ"
+
+
+class TestEngineCancelRegressions:
+    """Regressions for the fused run_until loop and cancel bookkeeping."""
+
+    def test_cancel_heavy_run_until_runs_every_live_event(self):
+        # Enough entries to clear _COMPACT_MIN_SIZE, cancelled from
+        # inside a dispatched callback so compaction fires mid-loop.
+        engine = Engine()
+        ran = []
+        handles = [engine.schedule(100.0 + i, ran.append, i)
+                   for i in range(200)]
+
+        def cancel_most():
+            for handle in handles[10:190]:
+                handle.cancel()
+
+        engine.schedule(50.0, cancel_most)
+        engine.run_until(1_000.0)
+        assert ran == list(range(10)) + list(range(190, 200))
+        assert engine.check_cancel_invariant()
+        assert engine.now == 1_000.0
+
+    def test_compaction_mid_run_does_not_drop_later_schedules(self):
+        # The callback cancels enough garbage to trigger a compaction,
+        # then schedules a new event; run_until's cached heap alias must
+        # still see it (compaction rebuilds the heap in place).
+        engine = Engine()
+        ran = []
+        garbage = [engine.schedule(500.0 + i, ran.append, "garbage")
+                   for i in range(120)]
+
+        def churn():
+            for handle in garbage:
+                handle.cancel()
+            engine.schedule(10.0, ran.append, "late")
+
+        engine.schedule(1.0, churn)
+        engine.run_until(2_000.0)
+        assert ran == ["late"]
+        assert engine.check_cancel_invariant()
+
+    def test_cancel_after_pop_leaves_garbage_estimate_alone(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.run_until(5.0)
+        handle.cancel()  # stale cancel of an already-run event
+        assert engine._cancelled == 0
+        assert engine.check_cancel_invariant()
+
+    def test_cancel_invariant_across_compactions(self):
+        engine = Engine()
+        for _ in range(3):
+            handles = [engine.schedule(1_000.0, lambda: None)
+                       for _ in range(100)]
+            for handle in handles:
+                handle.cancel()
+                handle.cancel()  # idempotent: second cancel is a no-op
+                assert engine.check_cancel_invariant()
+        engine.run_until(2_000.0)
+        assert engine.check_cancel_invariant()
+        assert engine._heap == []
+
+
+class TestKernelEligibility:
+    def test_auto_installs_on_plain_system(self):
+        system = System(cannon_lake_i3_8121u(), options=_options("auto"))
+        assert system.kernel_active
+        assert system.kernel_stats() is not None
+
+    def test_off_mode_stays_scalar(self):
+        system = System(cannon_lake_i3_8121u(), options=_options("off"))
+        assert not system.kernel_active
+        assert system.kernel_stats() is None
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemOptions(kernel="turbo")
+
+    def test_env_default_is_read_at_construction(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "off")
+        assert SystemOptions().kernel == "off"
+        monkeypatch.setenv("REPRO_KERNEL", "auto")
+        assert SystemOptions().kernel == "auto"
+
+    def test_governor_at_construction_disables_kernel(self):
+        config = cannon_lake_i3_8121u()
+        governor = Governor(GovernorKind.POWERSAVE, config.min_freq_ghz,
+                            config.max_turbo_ghz)
+        system = System(config, governor=governor, options=_options("auto"))
+        assert not system.kernel_active
+
+    def test_apply_governor_disables_kernel(self):
+        config = cannon_lake_i3_8121u()
+        system = System(config, options=_options("auto"))
+        assert system.kernel_active
+        system.apply_governor(Governor(GovernorKind.PERFORMANCE,
+                                       config.min_freq_ghz,
+                                       config.max_turbo_ghz))
+        assert not system.kernel_active
+
+    def test_cstates_disable_kernel(self):
+        config = cannon_lake_i3_8121u().with_overrides(cstates_enabled=True)
+        system = System(config, options=_options("auto"))
+        assert not system.kernel_active
+
+    def test_fault_attach_demotes_to_scalar(self):
+        system = System(cannon_lake_i3_8121u(), options=_options("auto"))
+        assert system.kernel_active
+        FaultInjector([SlotScheduleJitter()]).attach(system)
+        # Demotion happens at the next capture; drive one transfer.
+        report = IccThreadCovert(system).transfer(b"\x5a")
+        assert not system.kernel_active
+        assert report.sent == b"\x5a"
+
+
+class TestKernelScalarEquivalence:
+    def test_transfer_reports_and_traces_identical(self):
+        scalar_system, scalar_report = _run_busy_system("off")
+        kernel_system, kernel_report = _run_busy_system("auto")
+        assert kernel_system.kernel_active
+        assert scalar_report.received == kernel_report.received
+        assert scalar_report.ber == kernel_report.ber
+        assert scalar_report.measurements_tsc == kernel_report.measurements_tsc
+        assert (scalar_system.engine.events_run
+                == kernel_system.engine.events_run)
+        assert_identical_traces(scalar_system, kernel_system)
+
+    def test_faulted_transfer_identical_after_demotion(self):
+        def run(mode):
+            system = System(cannon_lake_i3_8121u(), options=_options(mode))
+            FaultInjector([SlotScheduleJitter(seed=7)]).attach(system)
+            report = IccThreadCovert(system).transfer(b"\xc3\x0f")
+            return system, report
+
+        scalar_system, scalar_report = run("off")
+        kernel_system, kernel_report = run("auto")
+        assert scalar_report.received == kernel_report.received
+        assert scalar_report.measurements_tsc == kernel_report.measurements_tsc
+        assert_identical_traces(scalar_system, kernel_system)
+
+    def test_sync_traces_is_idempotent_and_flushes_pending(self):
+        system = System(cannon_lake_i3_8121u(), options=_options("auto"))
+        spawned = []
+
+        def program():
+            result = yield system.execute(0, Loop(IClass.HEAVY_256, 50))
+            spawned.append(result)
+
+        system.spawn(program())
+        system.run_until(us_to_ns(500.0))
+        stats = system.kernel_stats()
+        assert stats["pending"] == 0  # run_until exit syncs
+        system.sync_traces()
+        assert system.kernel_stats()["flushes"] == stats["flushes"]
+        assert spawned
+
+    @pytest.mark.parametrize("name", ["demo_transfer", "fig8_slice"])
+    def test_golden_scenarios_bit_identical(self, name, monkeypatch):
+        from repro.verify.digest import diff_documents
+        from repro.verify.scenarios import compute_document
+
+        monkeypatch.setenv("REPRO_KERNEL", "off")
+        scalar = compute_document(name)
+        monkeypatch.setenv("REPRO_KERNEL", "auto")
+        kernel = compute_document(name)
+        assert diff_documents(scalar, kernel) == []
+
+
+# Random schedules: thread, class, iterations, start offset; plus an
+# optional fault-injection flag that forces the mid-run scalar demotion.
+_SETTINGS = dict(max_examples=10, deadline=None)
+schedules = st.lists(
+    st.tuples(
+        st.integers(0, 3),
+        st.sampled_from(list(IClass)),
+        st.integers(1, 20),
+        st.floats(0.0, 30_000.0),
+    ),
+    min_size=1, max_size=5,
+)
+
+
+class TestKernelProperties:
+    @settings(**_SETTINGS)
+    @given(schedules, st.booleans())
+    def test_random_schedules_bit_identical(self, schedule, with_faults):
+        deduped = list({item[0]: item for item in schedule}.values())
+
+        def run(mode):
+            system = System(cannon_lake_i3_8121u(), options=_options(mode))
+            if with_faults:
+                FaultInjector([SlotScheduleJitter(seed=3)]).attach(system)
+            results = []
+
+            def program(thread_id, iclass, iterations, start_ns):
+                def body():
+                    yield system.until(start_ns)
+                    result = yield system.execute(
+                        thread_id, Loop(iclass, iterations))
+                    results.append(result)
+                return body()
+
+            for item in deduped:
+                system.spawn(program(*item))
+            system.run_until(us_to_ns(2_000.0))
+            return system, results
+
+        scalar_system, scalar_results = run("off")
+        kernel_system, kernel_results = run("auto")
+        assert len(scalar_results) == len(kernel_results)
+        for left, right in zip(scalar_results, kernel_results):
+            assert left.elapsed_ns == right.elapsed_ns
+            assert left.throttled_ns == right.throttled_ns
+        assert_identical_traces(scalar_system, kernel_system)
+        assert scalar_system.engine.check_cancel_invariant()
+        assert kernel_system.engine.check_cancel_invariant()

@@ -35,10 +35,10 @@ BAD_MODULE = textwrap.dedent("""
 
 
 class TestRegistry:
-    def test_four_passes_registered(self):
+    def test_builtin_passes_registered(self):
         names = {p.name for p in all_passes()}
         assert names == {"dimensional", "determinism", "poolsafety",
-                         "hygiene"}
+                         "hygiene", "kernelsafety"}
 
     def test_every_rule_has_unique_owner(self):
         ids = rule_ids()

@@ -6,6 +6,7 @@ from repro.measure.sampler import PiecewiseLinearSignal, TraceSampler
 from repro.verify.differential import (
     DiffCheck,
     check_adaptive_plain_equivalence,
+    check_kernel_scalar_equivalence,
     check_sampler_bitwise,
     run_all,
 )
@@ -42,11 +43,18 @@ class TestAdaptiveEquivalence:
         assert any("frames[0].attempts: 1 -> 2" in line for line in lines)
 
 
+class TestKernelScalarEquivalence:
+    def test_goldens_identical_under_both_engines(self):
+        check = check_kernel_scalar_equivalence(names=("demo_transfer",))
+        assert check.ok, check.render()
+
+
 class TestRunAll:
     def test_run_all_names_and_order(self):
         checks = run_all()
         assert [check.name for check in checks] == [
-            "sampler-bitwise", "adaptive-plain-equivalence"]
+            "sampler-bitwise", "adaptive-plain-equivalence",
+            "kernel-scalar-equivalence"]
         assert all(check.ok for check in checks)
 
     def test_render_shows_detail_on_mismatch(self):
