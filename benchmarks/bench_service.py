@@ -1,0 +1,87 @@
+"""Service throughput: queue drain rate and single-flight dedup.
+
+Not a paper artifact — a regression guard on the `repro.service` layer.
+Two shapes are pinned:
+
+* **drain rate** — the scheduler must push thousands of queued no-op
+  tasks per second through the worker fleet with streaming enabled; a
+  per-task overhead regression (extra event-loop hops, accidental
+  serialisation on the queue) shows up here directly;
+* **dedup efficiency** — a sweep whose tasks all share one content
+  address must execute exactly once via the single-flight table plus
+  the artifact store, so the service's "identical work runs once"
+  promise is benchmarked, not just unit-tested.
+"""
+
+import asyncio
+
+from conftest import banner
+
+from repro.service import ArtifactStore, ChannelLabService, ServiceConfig
+
+#: Queued no-op tasks per drain round (benchmark workload size).
+DRAIN_TASKS = 2000
+
+#: Positions in the dedup sweep (all resolve to one content address).
+DEDUP_TASKS = 200
+
+
+def _drain_once():
+    """Submit and fully stream DRAIN_TASKS no-op tasks; completions."""
+    async def body():
+        config = ServiceConfig(workers=4, batch_size=64,
+                               record_events=False)
+        async with ChannelLabService(config) as lab:
+            job = await lab.submit(
+                "noop", [{"i": i} for i in range(DRAIN_TASKS)])
+            streamed = 0
+            async for _ in job.stream():
+                streamed += 1
+            await job.wait()
+            return streamed, job.state
+
+    return asyncio.run(body())
+
+
+def _identity_task(x):
+    """Module-level no-op task for the dedup sweep."""
+    return {"x": x}
+
+
+def _dedup_once(tmp_path):
+    """Run a same-key sweep through the store; (values, store stats)."""
+    async def body():
+        store = ArtifactStore(root=tmp_path / "store")
+        config = ServiceConfig(workers=2, batch_size=16, store=store,
+                               record_events=False)
+        async with ChannelLabService(config) as lab:
+            job = await lab.submit(_identity_task,
+                                   [{"x": 7}] * DEDUP_TASKS)
+            await job.wait()
+            return job.values(), store.stats
+
+    return asyncio.run(body())
+
+
+def test_bench_service_drain(benchmark):
+    """Queue drain throughput with live streaming."""
+    streamed, state = benchmark.pedantic(_drain_once, rounds=3,
+                                         iterations=1)
+    banner(f"service drain: {streamed} tasks streamed, job {state}")
+    benchmark.extra_info["tasks"] = DRAIN_TASKS
+    benchmark.extra_info["streamed"] = streamed
+    assert state == "done"
+    assert streamed == DRAIN_TASKS
+
+
+def test_bench_service_dedup(benchmark, tmp_path):
+    """Single-flight + store dedup: one execution for N identical tasks."""
+    values, stats = benchmark.pedantic(
+        _dedup_once, args=(tmp_path,), rounds=1, iterations=1)
+    banner(f"service dedup: {len(values)} positions, "
+           f"{stats.stores} execution(s) stored")
+    benchmark.extra_info["positions"] = DEDUP_TASKS
+    benchmark.extra_info["stores"] = stats.stores
+    assert values == [{"x": 7}] * DEDUP_TASKS
+    # The whole sweep resolves from a single stored execution.
+    assert stats.stores == 1

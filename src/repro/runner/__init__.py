@@ -26,6 +26,7 @@ from repro.runner.cache import (
     ResultCache,
     canonicalize,
     code_version,
+    reset_code_version,
     task_key,
 )
 from repro.runner.sweep import RunStats, SweepRunner
@@ -37,5 +38,6 @@ __all__ = [
     "SweepRunner",
     "canonicalize",
     "code_version",
+    "reset_code_version",
     "task_key",
 ]

@@ -31,6 +31,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
+import threading
+
 import numpy as np
 
 from repro.errors import ConfigError
@@ -43,6 +45,7 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 _code_version: Optional[str] = None
+_code_version_lock = threading.Lock()
 
 
 def code_version() -> str:
@@ -51,19 +54,38 @@ def code_version() -> str:
     Hashes every ``*.py`` under the package root in sorted order, so the
     same sources always produce the same version and any edit produces a
     new one — the cache's whole-package invalidation lever.
+
+    The memoization is thread-safe (service workers share one process)
+    and explicitly resettable: a long-lived worker that survives a
+    source change keeps serving the stale digest until
+    :func:`reset_code_version` is called, which the service layer does
+    on every worker (re)spawn.
     """
     global _code_version
-    if _code_version is None:
-        import repro
+    with _code_version_lock:
+        if _code_version is None:
+            import repro
 
-        root = Path(repro.__file__).resolve().parent
-        digest = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
-            digest.update(path.relative_to(root).as_posix().encode())
-            digest.update(b"\0")
-            digest.update(path.read_bytes())
-        _code_version = digest.hexdigest()[:16]
-    return _code_version
+            root = Path(repro.__file__).resolve().parent
+            digest = hashlib.sha256()
+            for path in sorted(root.rglob("*.py")):
+                digest.update(path.relative_to(root).as_posix().encode())
+                digest.update(b"\0")
+                digest.update(path.read_bytes())
+            _code_version = digest.hexdigest()[:16]
+        return _code_version
+
+
+def reset_code_version() -> None:
+    """Drop the memoized source digest; the next call recomputes it.
+
+    Call after the installed sources may have changed under a long-lived
+    process — :class:`repro.service` workers invoke this on (re)spawn so
+    a redeployed tree cannot keep addressing the old version's entries.
+    """
+    global _code_version
+    with _code_version_lock:
+        _code_version = None
 
 
 def canonicalize(obj: Any) -> Any:

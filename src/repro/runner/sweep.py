@@ -19,7 +19,7 @@ from __future__ import annotations
 import concurrent.futures
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.obs.tracer import current as _obs
@@ -45,11 +45,25 @@ def _annotate_failure(exc: BaseException, index: int,
 
 @dataclass
 class RunStats:
-    """What one :meth:`SweepRunner.map` call did."""
+    """What one :meth:`SweepRunner.map` call did.
+
+    ``executed`` counts tasks that actually ran *to completion* — a
+    sweep that dies on task 1 of 50 reports 1, not 50.  ``deduped``
+    counts positions resolved by copying another position's result
+    because both canonicalised to the same cache key within the call.
+    """
 
     tasks: int = 0
     cache_hits: int = 0
     executed: int = 0
+    deduped: int = 0
+
+    def add(self, other: "RunStats") -> None:
+        """Accumulate another call's stats into this one."""
+        self.tasks += other.tasks
+        self.cache_hits += other.cache_hits
+        self.executed += other.executed
+        self.deduped += other.deduped
 
 
 class SweepRunner:
@@ -88,18 +102,39 @@ class SweepRunner:
         is still stored in the cache before the exception propagates —
         a crashed sweep resumes from where it died instead of replaying
         finished work.  The re-raised exception carries ``task_index``
-        and ``task_kwargs`` attributes identifying the failing task.
+        and ``task_kwargs`` attributes identifying the failing task, and
+        ``last_run``/``total`` still account for the completed siblings.
+
+        With a cache attached, positions whose kwargs canonicalise to
+        the same content address are *deduplicated within the call*: one
+        representative executes (or hits), and every duplicate position
+        receives a copy of its result (``RunStats.deduped`` counts the
+        copies).  Without a cache there are no content addresses, so
+        duplicates execute independently, exactly as before.
         """
         stats = RunStats(tasks=len(kwargs_list))
         results: List[Any] = [None] * len(kwargs_list)
         pending: List[int] = []
         keys: List[Optional[str]] = [None] * len(kwargs_list)
+        #: Duplicate position -> representative position with the same key.
+        duplicate_of: Dict[int, int] = {}
         tracer = _obs()
 
         if self.cache is not None:
+            first_by_key: Dict[str, int] = {}
             for idx, kwargs in enumerate(kwargs_list):
                 key = self.cache.key_for(fn, kwargs)
                 keys[idx] = key
+                representative = first_by_key.get(key)
+                if representative is not None:
+                    # Same content address earlier in this very call:
+                    # don't look it up (it would miss while the
+                    # representative is still pending) and don't execute
+                    # it again — copy the representative's result below.
+                    duplicate_of[idx] = representative
+                    stats.deduped += 1
+                    continue
+                first_by_key[key] = idx
                 hit, value = self.cache.get(key)
                 if hit:
                     results[idx] = value
@@ -112,7 +147,6 @@ class SweepRunner:
         completed: List[int] = []
         failure: Optional[Tuple[int, BaseException]] = None
         if pending:
-            stats.executed = len(pending)
             try:
                 if self.jobs == 1 or len(pending) == 1:
                     for idx in pending:
@@ -147,21 +181,38 @@ class SweepRunner:
                     for idx in completed:
                         self.cache.put(keys[idx], results[idx])
 
+        # Executed counts *completions*: a sweep that dies on its first
+        # task reports 1 (or 0), never the whole pending count.
+        stats.executed = len(completed)
+
+        # Resolve in-call duplicates from their representatives (cache
+        # hits never entered ``pending``; executed ones must have
+        # completed).  A duplicate of a failed representative stays
+        # unresolved, which only matters on the failure path (no
+        # results are returned).
+        completed_set = set(completed)
+        pending_set = set(pending)
+        for idx, representative in duplicate_of.items():
+            if (representative in completed_set
+                    or representative not in pending_set):
+                results[idx] = results[representative]
+
         if tracer.enabled:
             tracer.metrics.counter("runner.tasks").inc(stats.tasks)
             tracer.metrics.counter("runner.cache_hits").inc(stats.cache_hits)
-            tracer.metrics.counter("runner.executed").inc(len(completed))
+            tracer.metrics.counter("runner.executed").inc(stats.executed)
+            tracer.metrics.counter("runner.deduped").inc(stats.deduped)
             if failure is not None:
                 tracer.metrics.counter("runner.task_failures").inc()
+
+        # last_run/total stay consistent on the failure path too: the
+        # caller's except clause can still read how much work finished.
+        self.last_run = stats
+        self.total.add(stats)
 
         if failure is not None:
             idx, exc = failure
             raise _annotate_failure(exc, idx, kwargs_list[idx])
-
-        self.last_run = stats
-        self.total.tasks += stats.tasks
-        self.total.cache_hits += stats.cache_hits
-        self.total.executed += stats.executed
         return results
 
     def _run_one(self, fn: Callable[..., Any], kwargs: Mapping[str, Any],

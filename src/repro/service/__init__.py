@@ -1,0 +1,75 @@
+"""The channel lab as an async service: queue, workers, artifact store.
+
+ROADMAP item 2: grow the single-shot :class:`~repro.runner.SweepRunner`
+into a long-lived service that absorbs experiment sweeps continuously.
+The pieces, bottom-up:
+
+* :mod:`repro.service.store` — :class:`ArtifactStore`, the
+  content-addressed :class:`~repro.runner.cache.ResultCache` promoted to
+  a shared artifact store (versioned envelopes, eviction budgets,
+  inventory);
+* :mod:`repro.service.tasks` — the named-task registry the HTTP/CLI
+  front ends submit against (``noop``, ``square``, ``demo_ber``,
+  ``fig13_digest``);
+* :mod:`repro.service.scheduler` — :class:`ChannelLabService`: the
+  asyncio priority queue, the worker fleet (one
+  :class:`~repro.runner.SweepRunner` each), single-flight dedup,
+  retry-with-backoff, worker-loss salvage, streaming partial results
+  and per-worker metrics;
+* :mod:`repro.service.adapter` — :class:`ServiceRunner`, the
+  synchronous runner-shaped facade that routes existing experiments
+  through the queue unchanged (what :mod:`repro.verify` uses to prove
+  the service path bit-identical to the inline one);
+* :mod:`repro.service.http` — the stdlib HTTP front end;
+* ``python -m repro.service`` — serve / submit / status / fetch /
+  cancel / stream / smoke.
+
+Quick start (Python)::
+
+    import asyncio
+    from repro.service import ChannelLabService, ServiceConfig
+
+    async def main():
+        async with ChannelLabService(ServiceConfig(workers=4)) as lab:
+            job = await lab.submit("square",
+                                   [{"x": x} for x in range(100)])
+            async for partial in job.stream():
+                print(partial.index, partial.value)
+            print((await job.wait()).describe())
+
+    asyncio.run(main())
+
+See ``docs/SERVICE.md`` for the architecture and the verification gate.
+"""
+
+from repro.service.adapter import ServiceRunner
+from repro.service.http import ServiceHTTP
+from repro.service.scheduler import (
+    ChannelLabService,
+    Job,
+    ServiceConfig,
+    TaskResult,
+)
+from repro.service.store import (
+    ArtifactStore,
+    EntryInfo,
+    StoreBudget,
+    StoreStats,
+)
+from repro.service.tasks import get_task, register_task, task_names
+
+__all__ = [
+    "ArtifactStore",
+    "ChannelLabService",
+    "EntryInfo",
+    "Job",
+    "ServiceConfig",
+    "ServiceHTTP",
+    "ServiceRunner",
+    "StoreBudget",
+    "StoreStats",
+    "TaskResult",
+    "get_task",
+    "register_task",
+    "task_names",
+]

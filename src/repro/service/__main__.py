@@ -1,0 +1,303 @@
+"""``python -m repro.service`` — serve, drive and smoke the channel lab.
+
+Server side::
+
+    python -m repro.service serve --port 8123 --workers 4 --store .lab-store
+
+Client side (against a running server)::
+
+    python -m repro.service tasks
+    python -m repro.service submit square --kwargs-json '[{"x": 3}]'
+    python -m repro.service submit noop --count 1000 --stream
+    python -m repro.service status job-000001
+    python -m repro.service fetch job-000001
+    python -m repro.service cancel job-000001
+
+Self-contained (no server; the CI throughput gate)::
+
+    python -m repro.service smoke --tasks 10000 --workers 4 \\
+        --trace smoke-trace.json --metrics smoke-metrics.json
+
+``smoke`` queues the requested number of no-op tasks, consumes the
+job's completion stream live, cross-checks a ``square`` sweep for
+bit-identity against an inline :class:`~repro.runner.SweepRunner`, and
+prints the per-worker utilization report; exit status 0 only when every
+check holds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.runner import SweepRunner
+from repro.service.http import ServiceHTTP
+from repro.service.scheduler import ChannelLabService, ServiceConfig
+from repro.service.store import ArtifactStore, StoreBudget
+from repro.service.tasks import square, task_names
+
+#: Progress line cadence of the smoke stream (tasks per line).
+SMOKE_PROGRESS_EVERY = 1000
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.service`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Channel-lab job service: HTTP server, client "
+                    "commands, and the self-contained smoke gate.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the HTTP service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8123)
+    serve.add_argument("--workers", type=int, default=2,
+                       help="async workers (one runner each)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="process-pool width per worker runner")
+    serve.add_argument("--batch-size", type=int, default=8,
+                       help="tasks a worker drains per dispatch")
+    serve.add_argument("--store", metavar="DIR", default=None,
+                       help="artifact store directory (omit to disable "
+                            "disk caching)")
+    serve.add_argument("--store-max-entries", type=int, default=None)
+    serve.add_argument("--store-max-bytes", type=int, default=None)
+    serve.add_argument("--trace", metavar="PATH", default=None,
+                       help="write a Chrome trace on shutdown")
+    serve.add_argument("--metrics", metavar="PATH", default=None,
+                       help="write a metrics snapshot on shutdown")
+
+    for name, description in (("status", "one job's status document"),
+                              ("fetch", "a finished job's results"),
+                              ("cancel", "cancel a job"),
+                              ("stream", "stream a job's completions")):
+        client = sub.add_parser(name, help=description)
+        client.add_argument("job_id")
+        client.add_argument("--url", default="http://127.0.0.1:8123")
+        if name == "fetch":
+            client.add_argument("--wait", action="store_true",
+                                help="block until the job finishes")
+
+    tasks_cmd = sub.add_parser("tasks", help="list registered tasks")
+    tasks_cmd.add_argument("--url", default="http://127.0.0.1:8123")
+
+    jobs_cmd = sub.add_parser("jobs", help="list all jobs")
+    jobs_cmd.add_argument("--url", default="http://127.0.0.1:8123")
+
+    submit = sub.add_parser("submit", help="submit a job")
+    submit.add_argument("task", help="registered task name")
+    submit.add_argument("--url", default="http://127.0.0.1:8123")
+    submit.add_argument("--kwargs-json", default=None,
+                        help="JSON list of kwargs objects, one per task")
+    submit.add_argument("--count", type=int, default=1,
+                        help="submit COUNT empty-kwargs tasks instead")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--stream", action="store_true",
+                        help="stream completions after submitting")
+
+    smoke = sub.add_parser(
+        "smoke", help="self-contained throughput + bit-identity gate")
+    smoke.add_argument("--tasks", type=int, default=10000,
+                       help="no-op tasks to drain through the queue")
+    smoke.add_argument("--workers", type=int, default=4)
+    smoke.add_argument("--batch-size", type=int, default=64)
+    smoke.add_argument("--trace", metavar="PATH", default=None)
+    smoke.add_argument("--metrics", metavar="PATH", default=None)
+    return parser
+
+
+# -- client commands ---------------------------------------------------------
+
+
+def _request(url: str, method: str = "GET",
+             payload: Optional[Dict[str, Any]] = None) -> Any:
+    """One JSON request against the server; decoded response body."""
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {})
+    try:
+        with urllib.request.urlopen(request) as response:
+            return json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode(errors="replace").strip()
+        raise ConfigError(f"server answered {exc.code}: {detail}")
+    except urllib.error.URLError as exc:
+        raise ConfigError(f"cannot reach {url}: {exc.reason}")
+
+
+def _stream_lines(url: str) -> int:
+    """Print one NDJSON stream line per completion; lines printed."""
+    printed = 0
+    try:
+        with urllib.request.urlopen(url) as response:
+            for raw in response:
+                line = raw.decode(errors="replace").rstrip("\n")
+                if line:
+                    print(line)
+                    printed += 1
+    except urllib.error.URLError as exc:
+        raise ConfigError(f"cannot stream from {url}: {exc}")
+    return printed
+
+
+def _client_main(args: argparse.Namespace) -> int:
+    """Dispatch one client subcommand; process exit status."""
+    base = args.url.rstrip("/")
+    if args.command == "tasks":
+        document = _request(f"{base}/tasks")
+    elif args.command == "jobs":
+        document = _request(f"{base}/jobs")
+    elif args.command == "status":
+        document = _request(f"{base}/jobs/{args.job_id}")
+    elif args.command == "fetch":
+        wait = "?wait=1" if args.wait else ""
+        document = _request(f"{base}/jobs/{args.job_id}/results{wait}")
+    elif args.command == "cancel":
+        document = _request(f"{base}/jobs/{args.job_id}/cancel",
+                            method="POST")
+    elif args.command == "stream":
+        _stream_lines(f"{base}/jobs/{args.job_id}/stream")
+        return 0
+    elif args.command == "submit":
+        if args.kwargs_json is not None:
+            kwargs_list = json.loads(args.kwargs_json)
+        else:
+            kwargs_list = [{} for _ in range(args.count)]
+        document = _request(f"{base}/jobs", method="POST",
+                            payload={"task": args.task,
+                                     "kwargs_list": kwargs_list,
+                                     "priority": args.priority})
+        if args.stream:
+            print(json.dumps(document, sort_keys=True))
+            _stream_lines(f"{base}/jobs/{document['id']}/stream")
+            return 0
+    else:  # pragma: no cover - argparse enforces the choices
+        raise ConfigError(f"unknown command {args.command!r}")
+    print(json.dumps(document, sort_keys=True, indent=2))
+    return 0
+
+
+# -- serve -------------------------------------------------------------------
+
+
+async def _serve_async(args: argparse.Namespace) -> int:
+    """Run the HTTP service until cancelled (Ctrl-C)."""
+    store = None
+    if args.store is not None:
+        store = ArtifactStore(
+            root=args.store,
+            budget=StoreBudget(max_entries=args.store_max_entries,
+                               max_bytes=args.store_max_bytes))
+    config = ServiceConfig(workers=args.workers, runner_jobs=args.jobs,
+                           batch_size=args.batch_size, store=store,
+                           record_events=args.trace is not None)
+    service = await ChannelLabService(config).start()
+    front = ServiceHTTP(service)
+    await front.start(host=args.host, port=args.port)
+    print(f"repro.service listening on http://{args.host}:{front.port} "
+          f"(workers={args.workers}, jobs={args.jobs}, "
+          f"store={args.store or 'off'})", flush=True)
+    try:
+        await asyncio.Event().wait()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await front.stop()
+        await service.stop(drain=False)
+        if args.trace is not None:
+            service.export_chrome_trace(args.trace)
+        if args.metrics is not None:
+            service.export_metrics(args.metrics)
+    return 0
+
+
+# -- smoke -------------------------------------------------------------------
+
+
+async def _smoke_async(args: argparse.Namespace) -> int:
+    """The self-contained gate: drain, stream, verify, report."""
+    config = ServiceConfig(workers=args.workers,
+                           batch_size=args.batch_size,
+                           record_events=args.trace is not None)
+    service = await ChannelLabService(config).start()
+    failures: List[str] = []
+    try:
+        # 1. Throughput: drain the queued no-op tasks while consuming
+        #    the completion stream live (partial results, not a final
+        #    dump).
+        job = await service.submit(
+            "noop", [{"i": i} for i in range(args.tasks)])
+        streamed = 0
+        async for record in job.stream():
+            if not record.ok:
+                failures.append(f"task {record.index} failed: "
+                                f"{record.error}")
+            streamed += 1
+            if streamed % SMOKE_PROGRESS_EVERY == 0:
+                print(f"smoke: streamed {streamed}/{args.tasks} "
+                      f"completions", flush=True)
+        await job.wait()
+        values = job.values()
+        if streamed != args.tasks:
+            failures.append(
+                f"streamed {streamed} completions, expected {args.tasks}")
+        if job.state != "done":
+            failures.append(f"job finished {job.state}, expected done")
+        bad_order = sum(1 for i, value in enumerate(values)
+                        if value != {"i": i})
+        if bad_order:
+            failures.append(f"{bad_order} results out of input order")
+
+        # 2. Bit-identity: the same square sweep through the service and
+        #    through an inline runner must agree exactly.
+        sweep = [{"x": float(x) * 0.5} for x in range(64)]
+        service_job = await service.submit("square", sweep)
+        await service_job.wait()
+        inline = SweepRunner().map(square, sweep)
+        if service_job.values() != inline:
+            failures.append("service square sweep != inline SweepRunner")
+
+        # 3. Per-worker metrics must actually have recorded work.
+        utilization = service.utilization()
+        busy_workers = sum(1 for worker in utilization["workers"]
+                           if worker["tasks"] > 0)
+        if busy_workers == 0:
+            failures.append("no worker recorded any tasks")
+        print(json.dumps({"tasks": args.tasks, "streamed": streamed,
+                          "ok": not failures, "failures": failures,
+                          "utilization": utilization},
+                         sort_keys=True, indent=2))
+    finally:
+        await service.stop(drain=False)
+        if args.trace is not None:
+            service.export_chrome_trace(args.trace)
+        if args.metrics is not None:
+            service.export_metrics(args.metrics)
+    return 1 if failures else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "serve":
+            return asyncio.run(_serve_async(args))
+        if args.command == "smoke":
+            return asyncio.run(_smoke_async(args))
+        return _client_main(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Synchronous :class:`SweepRunner`-shaped facade over the service.
+
+Everything above the runner layer — the figure experiments, the verify
+scenarios, the benchmarks — takes a ``runner`` argument and calls
+``runner.map(fn, kwargs_list)`` / ``runner.call(fn, **kwargs)``.
+:class:`ServiceRunner` implements exactly that contract on top of a
+:class:`~repro.service.scheduler.ChannelLabService`, so any experiment
+can be routed *through the queue* unchanged:
+
+    with ServiceRunner(ServiceConfig(workers=2)) as runner:
+        document = fig13_slice(runner=runner)
+
+The service's event loop runs on a private daemon thread; ``map`` blocks
+the calling thread until the submitted job finishes, preserving the
+synchronous call shape.  Results come back in input order and failures
+re-raise the original annotated exception — the two properties
+:mod:`repro.verify` leans on to prove the service path bit-identical to
+the inline one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Callable, List, Mapping, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.runner import RunStats
+from repro.service.scheduler import ChannelLabService, ServiceConfig
+
+
+class ServiceRunner:
+    """Drop-in sweep runner that executes through the job service.
+
+    Parameters
+    ----------
+    config:
+        The wrapped service's :class:`ServiceConfig`.  Defaults to two
+        workers with inline runners and no store — the configuration
+        whose results are trivially bit-identical to a plain
+        :class:`~repro.runner.SweepRunner`.
+    priority:
+        Priority of every job this runner submits.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 priority: int = 0) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.priority = priority
+        #: Stats of the most recent :meth:`map` call (runner contract).
+        self.last_run = RunStats()
+        #: Cumulative stats across this runner's lifetime.
+        self.total = RunStats()
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-service-runner", daemon=True)
+        self._thread.start()
+        self.service = self._call(ChannelLabService(self.config).start())
+        self._closed = False
+
+    def _call(self, coro: Any) -> Any:
+        """Run a coroutine on the service loop; block for its result."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def map(self, fn: Callable[..., Any],
+            kwargs_list: Sequence[Mapping[str, Any]]) -> List[Any]:
+        """Run ``fn(**kwargs)`` for every kwargs set, in input order.
+
+        Submits one job to the wrapped service and blocks until it is
+        terminal.  A failed job re-raises the first task's annotated
+        exception, exactly like :meth:`SweepRunner.map`.
+        """
+        if self._closed:
+            raise ConfigError("ServiceRunner is closed")
+        if not kwargs_list:
+            self.last_run = RunStats()
+            return []
+        job = self._call(self._run_job(fn, kwargs_list))
+        stats = RunStats(tasks=job.tasks,
+                         cache_hits=job.run_stats.cache_hits,
+                         executed=job.run_stats.executed,
+                         deduped=job.run_stats.deduped)
+        self.last_run = stats
+        self.total.add(stats)
+        return job.values()
+
+    async def _run_job(self, fn: Callable[..., Any],
+                       kwargs_list: Sequence[Mapping[str, Any]]) -> Any:
+        """Submit one job and await its terminal state (loop side)."""
+        job = await self.service.submit(fn, kwargs_list,
+                                        priority=self.priority)
+        await job.wait()
+        return job
+
+    def call(self, fn: Callable[..., Any], **kwargs: Any) -> Any:
+        """Run (or cache-resolve) a single task through the service."""
+        return self.map(fn, [kwargs])[0]
+
+    def close(self) -> None:
+        """Stop the wrapped service and the loop thread; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._call(self.service.stop())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+
+    def __enter__(self) -> "ServiceRunner":
+        """Use as a context manager; closes on exit."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Close the runner when the ``with`` block ends."""
+        self.close()

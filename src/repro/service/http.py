@@ -1,0 +1,257 @@
+"""Minimal HTTP/1.1 front end for the channel-lab service.
+
+Pure-stdlib (``asyncio.start_server``): one short-lived connection per
+request, ``Connection: close`` semantics, JSON bodies.  Endpoints:
+
+===========================================  ===============================
+``GET /health``                              liveness probe
+``GET /tasks``                               registered task names
+``POST /jobs``                               submit; body ``{"task": name,
+                                             "kwargs_list": [...],
+                                             "priority": 0}``
+``GET /jobs``                                all jobs (status documents)
+``GET /jobs/<id>``                           one job's status document
+``GET /jobs/<id>/results``                   input-order values
+                                             (``?wait=1`` blocks)
+``GET /jobs/<id>/stream``                    NDJSON: one line per task
+                                             completion (completion
+                                             order), then the job's
+                                             final status document
+``POST /jobs/<id>/cancel``                   cancel a queued/running job
+``GET /metrics``                             utilization + store summary
+===========================================  ===============================
+
+The server exists for the lab-bench use case — submitting sweeps from
+scripts and CI smoke jobs on localhost.  It is deliberately not a
+hardened public server: no TLS, no auth, no request pipelining.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ConfigError
+from repro.service.scheduler import ChannelLabService
+from repro.service.tasks import task_names
+
+#: Request bodies larger than this are rejected (a submit of tens of
+#: thousands of kwargs dicts fits comfortably).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Reason phrases for the status codes the server emits.
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 500: "Internal Server Error"}
+
+
+class HTTPError(Exception):
+    """A routed request that must answer with an HTTP error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _response_bytes(status: int, payload: Any) -> bytes:
+    """Serialise one complete JSON response."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n").encode()
+    return head + body
+
+
+class ServiceHTTP:
+    """HTTP front end bound to one :class:`ChannelLabService`.
+
+    Usage::
+
+        service = await ChannelLabService(config).start()
+        front = ServiceHTTP(service)
+        await front.start(host="127.0.0.1", port=8123)
+        ...
+        await front.stop()
+    """
+
+    def __init__(self, service: ChannelLabService) -> None:
+        self.service = service
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (0 before :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            return 0
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> "ServiceHTTP":
+        """Bind and start serving; ``port=0`` picks an ephemeral port."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        """Serve one request on one connection, then close it."""
+        try:
+            method, target, body = await self._read_request(reader)
+            await self._route(method, target, body, writer)
+        except HTTPError as exc:
+            writer.write(_response_bytes(exc.status, {"error": exc.message}))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:
+            writer.write(_response_bytes(
+                500, {"error": f"{type(exc).__name__}: {exc}"}))
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> Tuple[str, str, bytes]:
+        """Parse request line, headers and (length-delimited) body."""
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise HTTPError(400, f"malformed request line {request_line!r}")
+        method, target = parts[0].upper(), parts[1]
+        length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    raise HTTPError(400, f"bad Content-Length {value!r}")
+        if length > MAX_BODY_BYTES:
+            raise HTTPError(400, f"body of {length} bytes exceeds limit")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, body
+
+    # -- routing --------------------------------------------------------------
+
+    async def _route(self, method: str, target: str, body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        """Dispatch one parsed request to its endpoint."""
+        split = urlsplit(target)
+        path = [part for part in split.path.split("/") if part]
+        query = parse_qs(split.query)
+        if path == ["health"] and method == "GET":
+            writer.write(_response_bytes(200, {"ok": True}))
+        elif path == ["tasks"] and method == "GET":
+            writer.write(_response_bytes(200, {"tasks": task_names()}))
+        elif path == ["metrics"] and method == "GET":
+            writer.write(_response_bytes(200, self._metrics_doc()))
+        elif path == ["jobs"] and method == "POST":
+            writer.write(_response_bytes(200, await self._submit(body)))
+        elif path == ["jobs"] and method == "GET":
+            writer.write(_response_bytes(
+                200, {"jobs": [job.describe()
+                               for job in self.service.jobs()]}))
+        elif len(path) == 2 and path[0] == "jobs" and method == "GET":
+            writer.write(_response_bytes(200, self._job(path[1]).describe()))
+        elif (len(path) == 3 and path[0] == "jobs"
+                and path[2] == "results" and method == "GET"):
+            writer.write(_response_bytes(
+                200, await self._results(path[1], query)))
+        elif (len(path) == 3 and path[0] == "jobs"
+                and path[2] == "stream" and method == "GET"):
+            await self._stream(path[1], writer)
+        elif (len(path) == 3 and path[0] == "jobs"
+                and path[2] == "cancel" and method == "POST"):
+            cancelled = await self.service.cancel(self._job(path[1]).id)
+            writer.write(_response_bytes(200, {"cancelled": cancelled}))
+        elif path and path[0] in ("health", "tasks", "metrics", "jobs"):
+            raise HTTPError(405, f"{method} not allowed on {split.path}")
+        else:
+            raise HTTPError(404, f"no such endpoint {split.path}")
+
+    def _job(self, job_id: str):
+        """Resolve a job id or answer 404."""
+        try:
+            return self.service.job(job_id)
+        except ConfigError as exc:
+            raise HTTPError(404, str(exc))
+
+    def _metrics_doc(self) -> Dict[str, Any]:
+        """Utilization plus (when available) the store's summary."""
+        document = {"utilization": self.service.utilization()}
+        store = self.service.config.store
+        if store is not None and hasattr(store, "describe"):
+            document["store"] = store.describe()
+        return document
+
+    async def _submit(self, body: bytes) -> Dict[str, Any]:
+        """``POST /jobs``: validate the body and queue the job."""
+        try:
+            payload = json.loads(body.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HTTPError(400, f"body is not JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise HTTPError(400, "body must be a JSON object")
+        task = payload.get("task")
+        kwargs_list = payload.get("kwargs_list")
+        priority = payload.get("priority", 0)
+        if not isinstance(task, str):
+            raise HTTPError(400, "'task' must be a registered task name")
+        if (not isinstance(kwargs_list, list) or not kwargs_list
+                or not all(isinstance(k, dict) for k in kwargs_list)):
+            raise HTTPError(
+                400, "'kwargs_list' must be a non-empty list of objects")
+        if not isinstance(priority, int):
+            raise HTTPError(400, "'priority' must be an integer")
+        try:
+            job = await self.service.submit(task, kwargs_list,
+                                            priority=priority)
+        except ConfigError as exc:
+            raise HTTPError(400, str(exc))
+        return job.describe()
+
+    async def _results(self, job_id: str,
+                       query: Dict[str, Any]) -> Dict[str, Any]:
+        """``GET /jobs/<id>/results``: values (with ``?wait=1`` blocks)."""
+        job = self._job(job_id)
+        if query.get("wait", ["0"])[0] not in ("0", ""):
+            await job.wait()
+        document = job.describe()
+        if job.finished:
+            document["results"] = [record.describe() if record is not None
+                                   else None for record in job.results]
+        return document
+
+    async def _stream(self, job_id: str,
+                      writer: asyncio.StreamWriter) -> None:
+        """``GET /jobs/<id>/stream``: NDJSON partial results, live."""
+        job = self._job(job_id)
+        head = ("HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Connection: close\r\n\r\n").encode()
+        writer.write(head)
+        await writer.drain()
+        async for record in job.stream():
+            writer.write((json.dumps(record.describe(), sort_keys=True)
+                          + "\n").encode())
+            await writer.drain()
+        await job.wait()
+        writer.write((json.dumps(job.describe(), sort_keys=True)
+                      + "\n").encode())

@@ -1,0 +1,756 @@
+"""Asyncio job scheduler + worker fleet over :class:`SweepRunner`.
+
+The paper's evaluation is a giant sweep matrix; ROADMAP item 2 grows
+the single-host process pool into a *service* that can absorb queued
+experiment requests continuously.  The split mirrors the classic
+scheduler / worker-fleet / recorder architecture:
+
+* a **priority queue** (FIFO within a priority level) of individual
+  experiment tasks, fed by :meth:`ChannelLabService.submit`;
+* a **worker fleet**: each worker owns one
+  :class:`~repro.runner.SweepRunner` (with its configured process-pool
+  width) and drains batches of queued tasks through it on an executor
+  thread, so the event loop keeps accepting submissions and serving
+  status while simulations run;
+* a shared :class:`~repro.service.store.ArtifactStore` so identical
+  tasks across jobs, restarts and workers resolve from disk, plus a
+  **single-flight table** so identical tasks *in flight* execute once
+  — followers await the leader's future and copy its result;
+* **streaming partial results**: :meth:`Job.stream` is an async
+  iterator of task completions in completion order, and a JSONL sink
+  mirrors the same stream to disk for offline consumers;
+* **failure handling** on the runner's annotation seams: failed tasks
+  retry with exponential backoff up to a budget; a worker whose
+  process pool dies (``BrokenProcessPool``) respawns its runner, calls
+  :func:`~repro.runner.cache.reset_code_version`, and re-queues the
+  batch it was holding (completed siblings were already stored by the
+  runner's salvage path, so nothing re-executes);
+* **observability**: every queue/worker action lands in a dedicated
+  :class:`~repro.obs.Tracer` — per-worker counters and busy spans,
+  queue-depth and wait histograms — exportable as Chrome trace JSON
+  and a metrics snapshot per run.
+
+The scheduler is single-loop asyncio: all job/queue state is mutated
+only from coroutines on the service's event loop, so there are no
+locks beyond the per-job condition used by streamers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (Any, AsyncIterator, Callable, Dict, List, Mapping,
+                    Optional, Sequence, Tuple, Union)
+
+from repro.errors import ConfigError
+from repro.obs import Tracer, write_chrome_trace, write_metrics_json
+from repro.runner import (RunStats, SweepRunner, canonicalize,
+                          reset_code_version, task_key)
+from repro.runner.cache import ResultCache
+from repro.runner.sweep import _annotate_failure
+from repro.service.tasks import get_task
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job never leaves.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs of one :class:`ChannelLabService`.
+
+    Parameters
+    ----------
+    workers:
+        Async workers (and executor threads).  Each worker owns one
+        :class:`SweepRunner`.
+    runner_jobs:
+        Process-pool width of each worker's runner; ``1`` executes
+        inline on the worker's thread.
+    batch_size:
+        Tasks a worker drains from the queue per dispatch (same job
+        only).  Batches >1 amortise the runner's pool spin-up and are
+        what make ``runner_jobs > 1`` effective.
+    max_retries:
+        Extra attempts a failing task gets before the job fails.
+    backoff_base_s / backoff_cap_s:
+        Exponential retry backoff: ``base * 2**(attempt-1)`` capped.
+    max_salvages:
+        Times a task may be re-queued because its worker's pool died
+        (not counted against ``max_retries``).
+    store:
+        Shared :class:`~repro.service.store.ArtifactStore` (or plain
+        :class:`ResultCache`) attached to every worker's runner; also
+        the key space of the single-flight table.  ``None`` disables
+        disk caching (in-flight dedup still works).
+    record_events:
+        Record trace events (spans) in the service tracer; metrics
+        counters are always kept.
+    """
+
+    workers: int = 2
+    runner_jobs: int = 1
+    batch_size: int = 8
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    max_salvages: int = 3
+    store: Optional[ResultCache] = None
+    record_events: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.runner_jobs < 1:
+            raise ConfigError(
+                f"runner_jobs must be >= 1, got {self.runner_jobs}")
+        if self.batch_size < 1:
+            raise ConfigError(
+                f"batch_size must be >= 1, got {self.batch_size}")
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ConfigError("backoff values must be >= 0")
+
+
+@dataclass
+class TaskResult:
+    """One task's terminal record inside a job."""
+
+    index: int
+    ok: bool
+    value: Any = None
+    error: str = ""
+    attempts: int = 1
+    worker: int = -1
+    deduped: bool = False
+    wall_ms: float = 0.0
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready record (values canonicalised)."""
+        return {
+            "index": self.index,
+            "ok": self.ok,
+            "value": canonicalize(self.value),
+            "error": self.error,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "deduped": self.deduped,
+            "wall_ms": round(self.wall_ms, 3),
+        }
+
+
+class _Task:
+    """Internal queue entry: one (job, index) unit of work."""
+
+    __slots__ = ("job", "index", "kwargs", "key", "attempts", "salvages",
+                 "enqueued")
+
+    def __init__(self, job: "Job", index: int,
+                 kwargs: Mapping[str, Any], key: str) -> None:
+        self.job = job
+        self.index = index
+        self.kwargs = dict(kwargs)
+        self.key = key
+        self.attempts = 0
+        self.salvages = 0
+        self.enqueued = 0.0
+
+
+class Job:
+    """One submitted sweep: N tasks of the same function.
+
+    Jobs are created by :meth:`ChannelLabService.submit`; callers hold
+    them to :meth:`wait`, :meth:`stream` partial results, or read
+    :attr:`results` afterwards.
+    """
+
+    def __init__(self, job_id: str, name: str, fn: Callable[..., Any],
+                 kwargs_list: Sequence[Mapping[str, Any]],
+                 priority: int) -> None:
+        self.id = job_id
+        self.name = name
+        self.fn = fn
+        self.kwargs_list = [dict(kwargs) for kwargs in kwargs_list]
+        self.priority = priority
+        self.state = QUEUED
+        #: Per-position terminal records, input order (None until done).
+        self.results: List[Optional[TaskResult]] = [None] * len(kwargs_list)
+        #: Terminal records in *completion* order (the stream's source).
+        self.completion_log: List[TaskResult] = []
+        #: Aggregated runner stats of every batch this job executed.
+        self.run_stats = RunStats()
+        self.error: Optional[BaseException] = None
+        self._outstanding = len(kwargs_list)
+        self._done = asyncio.Event()
+        self._progress = asyncio.Condition()
+
+    @property
+    def tasks(self) -> int:
+        """Number of tasks in the job."""
+        return len(self.kwargs_list)
+
+    @property
+    def completed(self) -> int:
+        """Terminal task records so far (successes and failures)."""
+        return len(self.completion_log)
+
+    @property
+    def finished(self) -> bool:
+        """True once the job reached a terminal state."""
+        return self.state in TERMINAL_STATES
+
+    async def wait(self) -> "Job":
+        """Block until the job reaches a terminal state."""
+        await self._done.wait()
+        return self
+
+    async def stream(self) -> AsyncIterator[TaskResult]:
+        """Yield task completions as they happen (completion order).
+
+        Iteration ends when the job is terminal and every logged
+        completion has been yielded; a subscriber that joins late
+        replays the log from the start first.
+        """
+        cursor = 0
+        while True:
+            async with self._progress:
+                while (cursor >= len(self.completion_log)
+                       and not self.finished):
+                    await self._progress.wait()
+                if cursor < len(self.completion_log):
+                    item = self.completion_log[cursor]
+                    cursor += 1
+                else:
+                    return
+            yield item
+
+    def values(self) -> List[Any]:
+        """Result values in input order; raises the job's failure.
+
+        A failed job re-raises the (annotated) first task failure; a
+        cancelled job raises :class:`ConfigError`.
+        """
+        if self.state == FAILED and self.error is not None:
+            raise self.error
+        if self.state == CANCELLED:
+            raise ConfigError(f"job {self.id} was cancelled")
+        if not self.finished:
+            raise ConfigError(f"job {self.id} is still {self.state}")
+        return [record.value if record is not None else None
+                for record in self.results]
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready status document (the HTTP ``GET /jobs/<id>``)."""
+        return {
+            "id": self.id,
+            "task": self.name,
+            "state": self.state,
+            "priority": self.priority,
+            "tasks": self.tasks,
+            "completed": self.completed,
+            "ok": sum(1 for r in self.completion_log if r.ok),
+            "failed": sum(1 for r in self.completion_log if not r.ok),
+            "deduped": sum(1 for r in self.completion_log if r.deduped),
+            "error": str(self.error) if self.error is not None else "",
+        }
+
+
+def _execute_batch(runner: SweepRunner, fn: Callable[..., Any],
+                   kwargs_seq: Sequence[Mapping[str, Any]]
+                   ) -> Tuple[List[Tuple[bool, Any, Optional[BaseException]]],
+                              RunStats]:
+    """Run one batch on the worker's runner; per-task outcomes + stats.
+
+    Runs on an executor thread.  The happy path is one
+    :meth:`SweepRunner.map` call (pool parallelism, in-call dedup).  On
+    a failure the runner has already stored every completed sibling, so
+    the salvage pass re-resolves each remaining task individually —
+    completed ones hit the store, unfinished ones execute inline — and
+    only genuinely failing tasks surface as errors.
+    ``BrokenProcessPool`` is *not* absorbed: it means the worker lost
+    its pool and must respawn (the caller's salvage path).
+    """
+    before = dataclasses.replace(runner.total)
+    tasks = [dict(kwargs) for kwargs in kwargs_seq]
+    outcomes: List[Tuple[bool, Any, Optional[BaseException]]] = []
+    try:
+        values = runner.map(fn, tasks)
+        outcomes = [(True, value, None) for value in values]
+    except BrokenProcessPool:
+        raise
+    except Exception as exc:
+        failed_index = getattr(exc, "task_index", None)
+        for index, kwargs in enumerate(tasks):
+            if index == failed_index:
+                outcomes.append((False, None, exc))
+                continue
+            try:
+                outcomes.append((True, runner.call(fn, **kwargs), None))
+            except BrokenProcessPool:
+                raise
+            except Exception as sub_exc:
+                outcomes.append((False, None, sub_exc))
+    after = runner.total
+    stats = RunStats(tasks=after.tasks - before.tasks,
+                     cache_hits=after.cache_hits - before.cache_hits,
+                     executed=after.executed - before.executed,
+                     deduped=after.deduped - before.deduped)
+    return outcomes, stats
+
+
+class ChannelLabService:
+    """The channel lab as a service: queue, worker fleet, artifact store.
+
+    Usage (single event loop)::
+
+        service = ChannelLabService(ServiceConfig(workers=4))
+        await service.start()
+        job = await service.submit("square", [{"x": x} for x in range(100)])
+        async for partial in job.stream():
+            ...
+        results = (await job.wait()).values()
+        await service.stop()
+
+    ``submit`` accepts either a registered task name (the HTTP/CLI
+    path) or a module-level callable (the Python path).
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.tracer = Tracer(events=self.config.record_events)
+        self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
+        self._jobs: Dict[str, Job] = {}
+        #: Single-flight table: store key -> leader future resolving to
+        #: ("ok", value) | ("err", None).
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._workers: List[asyncio.Task] = []
+        self._aux: List[asyncio.Task] = []
+        self._seq = itertools.count()
+        self._job_counter = itertools.count(1)
+        self._started = False
+        self._epoch = time.perf_counter()
+        #: Per-worker runners, for utilization reporting.
+        self._runners: List[Optional[SweepRunner]] = (
+            [None] * self.config.workers)
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "ChannelLabService":
+        """Spawn the worker fleet; idempotent."""
+        if self._started:
+            return self
+        self._started = True
+        self._epoch = time.perf_counter()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-service")
+        for wid in range(self.config.workers):
+            self._workers.append(
+                asyncio.create_task(self._worker_loop(wid),
+                                    name=f"repro-service-worker-{wid}"))
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the fleet; with ``drain`` first waits for queued work."""
+        if not self._started:
+            return
+        if drain:
+            for job in list(self._jobs.values()):
+                await job.wait()
+            await self._drain_aux()
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers.clear()
+        await self._drain_aux()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._started = False
+
+    async def __aenter__(self) -> "ChannelLabService":
+        """Start on entering an ``async with`` block."""
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        """Drain and stop on leaving the block."""
+        await self.stop(drain=exc_info[0] is None)
+
+    async def _drain_aux(self) -> None:
+        """Await auxiliary tasks (sinks, requeue timers) to completion."""
+        pending = [task for task in self._aux if not task.done()]
+        self._aux = pending
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    # -- submission ----------------------------------------------------------
+
+    async def submit(self, task: Union[str, Callable[..., Any]],
+                     kwargs_list: Sequence[Mapping[str, Any]],
+                     priority: int = 0,
+                     sink: Optional[str] = None) -> Job:
+        """Queue one job of ``len(kwargs_list)`` tasks; returns the Job.
+
+        ``task`` is a registered task name or a module-level callable.
+        Higher ``priority`` runs earlier; equal priorities are FIFO.
+        ``sink`` mirrors the completion stream to a JSONL file.
+        """
+        if not self._started:
+            raise ConfigError("service is not started; call start() first")
+        if isinstance(task, str):
+            name, fn = task, get_task(task)
+        else:
+            fn = task
+            name = getattr(fn, "__name__", repr(fn))
+        if not kwargs_list:
+            raise ConfigError("kwargs_list must not be empty")
+        job = Job(f"job-{next(self._job_counter):06d}", name, fn,
+                  kwargs_list, priority)
+        self._jobs[job.id] = job
+        store = self.config.store
+        metrics = self.tracer.metrics
+        metrics.counter("service.jobs_submitted").inc()
+        metrics.counter("service.tasks_submitted").inc(job.tasks)
+        for index, kwargs in enumerate(job.kwargs_list):
+            key = (store.key_for(fn, kwargs) if store is not None
+                   else task_key(fn, kwargs))
+            entry = _Task(job, index, kwargs, key)
+            self._enqueue(entry)
+        metrics.histogram("service.queue_depth").observe(self._queue.qsize())
+        if sink is not None:
+            self._spawn_aux(self._sink_job(job, sink))
+        return job
+
+    def _enqueue(self, task: _Task) -> None:
+        """Put one task on the priority queue (FIFO within priority)."""
+        task.enqueued = time.perf_counter()
+        self._queue.put_nowait((-task.job.priority, next(self._seq), task))
+
+    def _spawn_aux(self, coro: Any) -> None:
+        """Track an auxiliary coroutine so stop() can await it."""
+        self._aux.append(asyncio.create_task(coro))
+
+    # -- status --------------------------------------------------------------
+
+    def job(self, job_id: str) -> Job:
+        """The job called ``job_id`` (ConfigError when unknown)."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ConfigError(f"unknown job {job_id!r}")
+        return job
+
+    def jobs(self) -> List[Job]:
+        """Every submitted job, submission order."""
+        return list(self._jobs.values())
+
+    async def cancel(self, job_id: str) -> bool:
+        """Cancel a job; returns False if it already finished.
+
+        Queued tasks are dropped as workers reach them; a task already
+        executing on a pool is not interrupted (its result is simply
+        discarded).
+        """
+        job = self.job(job_id)
+        if job.finished:
+            return False
+        await self._finalize(job, CANCELLED)
+        self.tracer.metrics.counter("service.jobs_cancelled").inc()
+        return True
+
+    def utilization(self) -> Dict[str, Any]:
+        """Per-worker utilization + queue snapshot, JSON-ready.
+
+        ``busy_ms`` sums task-batch execution time on the worker's
+        executor thread; ``utilization`` divides by wall time since the
+        service started; cache/executed counts come from each worker's
+        runner totals, hit rate from the shared store.
+        """
+        elapsed = max(time.perf_counter() - self._epoch, 1e-9)
+        metrics = self.tracer.metrics
+        workers = []
+        for wid in range(self.config.workers):
+            runner = self._runners[wid]
+            totals = runner.total if runner is not None else RunStats()
+            busy = metrics.histogram(f"service.worker{wid}.busy_ms")
+            tasks_done = metrics.counter(f"service.worker{wid}.tasks").value
+            workers.append({
+                "worker": wid,
+                "tasks": tasks_done,
+                "batches": busy.count,
+                "busy_ms": round(busy.total, 3),
+                "utilization": round(busy.total / (elapsed * 1e3), 4),
+                "tasks_per_s": round(tasks_done / elapsed, 2),
+                "cache_hits": totals.cache_hits,
+                "executed": totals.executed,
+            })
+        store = self.config.store
+        lookups = 0
+        hit_rate = 0.0
+        if store is not None:
+            lookups = store.stats.hits + store.stats.misses
+            hit_rate = store.stats.hits / lookups if lookups else 0.0
+        return {
+            "elapsed_s": round(elapsed, 3),
+            "queue_depth": self._queue.qsize(),
+            "inflight": len(self._inflight),
+            "jobs": len(self._jobs),
+            "store_lookups": lookups,
+            "store_hit_rate": round(hit_rate, 4),
+            "workers": workers,
+        }
+
+    def export_chrome_trace(self, path: str) -> None:
+        """Write this run's service trace as Chrome trace-event JSON."""
+        write_chrome_trace(self.tracer, path)
+
+    def export_metrics(self, path: str) -> None:
+        """Write this run's metrics snapshot as JSON."""
+        write_metrics_json(self.tracer, path)
+
+    # -- worker fleet --------------------------------------------------------
+
+    def _make_runner(self) -> SweepRunner:
+        """A fresh runner for a (re)spawned worker.
+
+        Resets the memoized code version first, so a worker brought up
+        after a redeploy addresses the store under the new sources.
+        """
+        reset_code_version()
+        return SweepRunner(jobs=self.config.runner_jobs,
+                           cache=self.config.store)
+
+    async def _worker_loop(self, wid: int) -> None:
+        """One worker: dequeue, batch, dispatch, record — forever."""
+        runner = self._make_runner()
+        self._runners[wid] = runner
+        metrics = self.tracer.metrics
+        while True:
+            _, _, task = await self._queue.get()
+            if task.job.finished:
+                continue
+            batch = self._drain_batch(task)
+            metrics.histogram("service.queue_depth").observe(
+                self._queue.qsize())
+            leaders: List[Tuple[_Task, asyncio.Future]] = []
+            for entry in batch:
+                waited = time.perf_counter() - entry.enqueued
+                metrics.histogram("service.queue_wait_ms").observe(
+                    waited * 1e3)
+                leader = self._inflight.get(entry.key)
+                if leader is not None:
+                    # Identical task already executing: follow it.
+                    self._spawn_aux(self._follow(entry, leader))
+                    continue
+                future = asyncio.get_running_loop().create_future()
+                self._inflight[entry.key] = future
+                leaders.append((entry, future))
+            if not leaders:
+                continue
+            try:
+                runner = await self._dispatch(wid, runner, leaders)
+            except asyncio.CancelledError:
+                # Service stopping: release followers so they retry or
+                # resolve on a later start; nothing records.
+                for entry, future in leaders:
+                    self._inflight.pop(entry.key, None)
+                    if not future.done():
+                        future.set_result(("err", None))
+                raise
+
+    def _drain_batch(self, first: _Task) -> List[_Task]:
+        """Greedily extend ``first`` with queued same-job tasks.
+
+        Only same-job tasks join a batch (one function per
+        :meth:`SweepRunner.map` call); anything else drained is
+        re-queued with its original priority and sequence, so ordering
+        is preserved.
+        """
+        batch = [first]
+        requeue = []
+        while len(batch) < self.config.batch_size:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            candidate = item[2]
+            if candidate.job is first.job and not candidate.job.finished:
+                batch.append(candidate)
+            else:
+                requeue.append(item)
+        for item in requeue:
+            self._queue.put_nowait(item)
+        return batch
+
+    async def _dispatch(self, wid: int, runner: SweepRunner,
+                        leaders: List[Tuple[_Task, asyncio.Future]]
+                        ) -> SweepRunner:
+        """Execute one leader batch; returns the (possibly new) runner."""
+        job = leaders[0][0].job
+        fn = job.fn
+        metrics = self.tracer.metrics
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        try:
+            with self.tracer.wall_span(
+                    "service.batch", "service", track=f"worker{wid}",
+                    args={"job": job.id, "tasks": len(leaders)}):
+                outcomes, stats = await loop.run_in_executor(
+                    self._executor, _execute_batch, runner, fn,
+                    [entry.kwargs for entry, _ in leaders])
+        except BrokenProcessPool:
+            # Worker-loss salvage: the pool is gone, the runner with it.
+            # Completed siblings were stored by the runner before the
+            # pool died; re-queue the batch (bounded) on a fresh runner.
+            metrics.counter("service.worker_respawns").inc()
+            for entry, future in leaders:
+                self._inflight.pop(entry.key, None)
+                if not future.done():
+                    future.set_result(("err", None))
+                entry.salvages += 1
+                if entry.salvages <= self.config.max_salvages:
+                    metrics.counter("service.salvaged_tasks").inc()
+                    self._enqueue(entry)
+                else:
+                    await self._record_failure(
+                        entry, wid,
+                        ConfigError(f"worker pool lost "
+                                    f"{entry.salvages} times"))
+            fresh = self._make_runner()
+            self._runners[wid] = fresh
+            return fresh
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        metrics.histogram(f"service.worker{wid}.busy_ms").observe(elapsed_ms)
+        metrics.counter(f"service.worker{wid}.tasks").inc(len(leaders))
+        job.run_stats.add(stats)
+        per_task_ms = elapsed_ms / max(len(leaders), 1)
+        for (entry, future), (ok, value, exc) in zip(leaders, outcomes):
+            entry.attempts += 1
+            self._inflight.pop(entry.key, None)
+            if ok:
+                if not future.done():
+                    future.set_result(("ok", value))
+                await self._record_success(entry, wid, value, per_task_ms)
+            else:
+                if not future.done():
+                    future.set_result(("err", None))
+                await self._handle_failure(entry, wid, exc)
+        return runner
+
+    # -- single-flight followers --------------------------------------------
+
+    async def _follow(self, task: _Task, leader: asyncio.Future) -> None:
+        """Await another worker's identical execution and copy it."""
+        status, value = await leader
+        if task.job.finished:
+            return
+        if status == "ok":
+            self.tracer.metrics.counter("service.dedup_inflight").inc()
+            task.job.run_stats.deduped += 1
+            await self._record_success(task, -1, value, 0.0, deduped=True)
+        else:
+            # The leader failed; this position re-enters the queue and
+            # becomes (or follows) a new leader on its own attempt.
+            self._enqueue(task)
+
+    # -- terminal recording --------------------------------------------------
+
+    async def _record_success(self, task: _Task, wid: int, value: Any,
+                              wall_ms: float, deduped: bool = False) -> None:
+        """Record one task's success and advance the job."""
+        self.tracer.metrics.counter("service.tasks_completed").inc()
+        record = TaskResult(index=task.index, ok=True, value=value,
+                            attempts=max(task.attempts, 1), worker=wid,
+                            deduped=deduped, wall_ms=wall_ms)
+        await self._record(task, record)
+
+    async def _record_failure(self, task: _Task, wid: int,
+                              exc: BaseException) -> None:
+        """Record one task's permanent failure and advance the job."""
+        self.tracer.metrics.counter("service.tasks_failed").inc()
+        record = TaskResult(index=task.index, ok=False,
+                            error=f"{type(exc).__name__}: {exc}",
+                            attempts=max(task.attempts, 1), worker=wid)
+        if task.job.error is None:
+            task.job.error = _annotate_failure(exc, task.index, task.kwargs)
+        await self._record(task, record)
+
+    async def _handle_failure(self, task: _Task, wid: int,
+                              exc: Optional[BaseException]) -> None:
+        """Retry with backoff, or record the failure permanently."""
+        failure = exc if exc is not None else ConfigError("task failed")
+        if task.job.finished:
+            return
+        if task.attempts <= self.config.max_retries:
+            self.tracer.metrics.counter("service.retries").inc()
+            delay = min(self.config.backoff_cap_s,
+                        self.config.backoff_base_s
+                        * (2.0 ** (task.attempts - 1)))
+            self._spawn_aux(self._requeue_later(task, delay))
+            return
+        await self._record_failure(task, wid, failure)
+
+    async def _requeue_later(self, task: _Task, delay: float) -> None:
+        """Sleep the backoff, then put the task back on the queue."""
+        await asyncio.sleep(delay)
+        if not task.job.finished:
+            self._enqueue(task)
+
+    async def _record(self, task: _Task, record: TaskResult) -> None:
+        """Append a terminal record, notify streamers, maybe finalize."""
+        job = task.job
+        if job.finished:
+            return
+        async with job._progress:
+            if job.state == QUEUED:
+                job.state = RUNNING
+            job.results[task.index] = record
+            job.completion_log.append(record)
+            job._outstanding -= 1
+            job._progress.notify_all()
+        if job._outstanding <= 0:
+            await self._finalize(
+                job, FAILED if job.error is not None else DONE)
+
+    async def _finalize(self, job: Job, state: str) -> None:
+        """Move a job to a terminal state and wake every waiter."""
+        async with job._progress:
+            if job.finished:
+                return
+            job.state = state
+            job._done.set()
+            job._progress.notify_all()
+        store = self.config.store
+        if store is not None and hasattr(store, "evict_to_budget"):
+            store.evict_to_budget()
+
+    # -- JSONL sink ----------------------------------------------------------
+
+    async def _sink_job(self, job: Job, path: str) -> None:
+        """Mirror a job's completion stream to a JSONL file.
+
+        One line per task completion (completion order), then a final
+        summary line with the job's terminal state.
+        """
+        with open(path, "w", encoding="utf-8") as handle:
+            async for record in job.stream():
+                handle.write(json.dumps(record.describe(), sort_keys=True))
+                handle.write("\n")
+                handle.flush()
+            await job.wait()
+            handle.write(json.dumps(job.describe(), sort_keys=True))
+            handle.write("\n")

@@ -1,0 +1,232 @@
+"""Shared artifact store: the :class:`ResultCache` promoted to a service.
+
+A :class:`ArtifactStore` is a drop-in :class:`~repro.runner.cache.
+ResultCache` (sweep runners attach it unchanged) with the extra
+guarantees a long-lived, multi-worker service needs:
+
+* **versioned entries** — every stored value is wrapped in an envelope
+  carrying the entry schema and the code version that produced it.  An
+  entry whose envelope does not decode to the current schema (a foreign
+  pickle, a pre-service entry, a future schema) is treated as *stale*:
+  unlinked and counted, never returned;
+* **eviction budgets** — :meth:`evict_to_budget` trims the store to a
+  configured entry-count / byte-size / age budget, oldest entries
+  first, so an always-on service cannot grow its disk without bound;
+* **inventory** — :meth:`entries` and :meth:`total_bytes` give the
+  scheduler and the HTTP ``/metrics`` endpoint a cheap view of what is
+  on disk.
+
+Writes stay atomic (tempfile + ``os.replace``) and last-writer-wins,
+which is exactly what concurrent workers need: an ``evict`` racing an
+in-flight ``put`` can at worst delete the *previous* entry under the
+same key; the rename still lands the new one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.runner.cache import CacheStats, ResultCache, code_version
+
+#: Envelope schema version; bump on incompatible layout changes.
+ARTIFACT_SCHEMA = 1
+
+#: Envelope key marking a value as a versioned artifact entry.
+_ENVELOPE_KEY = "__artifact__"
+
+
+@dataclass
+class StoreStats(CacheStats):
+    """Cache counters plus the store-specific ones.
+
+    ``stale`` counts entries that decoded fine but were not artifact
+    envelopes of the current schema (each is also a miss and is
+    unlinked).  ``evicted`` counts entries removed by budget eviction.
+    """
+
+    stale: int = 0
+    evicted: int = 0
+
+
+@dataclass(frozen=True)
+class EntryInfo:
+    """One on-disk entry of an :class:`ArtifactStore`."""
+
+    key: str
+    path: Path
+    size_bytes: int
+    mtime: float
+
+
+@dataclass
+class StoreBudget:
+    """Eviction budget of an :class:`ArtifactStore`.
+
+    Any field left ``None`` is unconstrained.  ``max_age_s`` is the
+    maximum entry age in seconds since the entry was (re)written.
+    """
+
+    max_entries: Optional[int] = None
+    max_bytes: Optional[int] = None
+    max_age_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_entries is not None and self.max_entries < 0:
+            raise ConfigError(
+                f"max_entries must be >= 0, got {self.max_entries}")
+        if self.max_bytes is not None and self.max_bytes < 0:
+            raise ConfigError(f"max_bytes must be >= 0, got {self.max_bytes}")
+        if self.max_age_s is not None and self.max_age_s < 0:
+            raise ConfigError(f"max_age_s must be >= 0, got {self.max_age_s}")
+
+
+class ArtifactStore(ResultCache):
+    """Content-addressed artifact store shared by service workers.
+
+    Parameters
+    ----------
+    root:
+        Store directory; same default resolution as
+        :class:`ResultCache` (``$REPRO_CACHE_DIR`` or ``.repro-cache``).
+    version:
+        Override the code-version component of every key (tests use
+        this to simulate deployments without editing sources).
+    budget:
+        Optional :class:`StoreBudget`; :meth:`evict_to_budget` trims to
+        it, and the service calls that hook after every job.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 version: Optional[str] = None,
+                 budget: Optional[StoreBudget] = None) -> None:
+        super().__init__(root=root, version=version)
+        self.stats: StoreStats = StoreStats()
+        self.budget = budget if budget is not None else StoreBudget()
+
+    # -- versioned entries ---------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` wrapped in a versioned artifact envelope."""
+        envelope = {
+            _ENVELOPE_KEY: ARTIFACT_SCHEMA,
+            "code": self.version if self.version is not None else code_version(),
+            "value": value,
+        }
+        super().put(key, envelope)
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """(hit, value); stale or foreign entries are unlinked misses."""
+        hit, envelope = super().get(key)
+        if not hit:
+            return False, None
+        if (isinstance(envelope, dict)
+                and envelope.get(_ENVELOPE_KEY) == ARTIFACT_SCHEMA
+                and "value" in envelope):
+            return True, envelope["value"]
+        # Decoded but not an envelope this build understands: a foreign
+        # ResultCache pickle or another schema.  Serving it would hand
+        # the caller an un-unwrapped (or wrongly-unwrapped) object.
+        self.stats.stale += 1
+        self.stats.hits -= 1
+        self.stats.misses += 1
+        try:
+            self._path(key).unlink()
+        except OSError:
+            pass
+        return False, None
+
+    # -- inventory -----------------------------------------------------------
+
+    def entries(self) -> List[EntryInfo]:
+        """Every on-disk entry, oldest first (by mtime).
+
+        Entries that vanish mid-scan (a concurrent ``clear``/``evict``)
+        are skipped rather than raised.
+        """
+        found: List[EntryInfo] = []
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            found.append(EntryInfo(key=path.stem, path=path,
+                                   size_bytes=stat.st_size,
+                                   mtime=stat.st_mtime))
+        found.sort(key=lambda entry: (entry.mtime, entry.key))
+        return found
+
+    def total_bytes(self) -> int:
+        """Sum of all entry sizes on disk."""
+        return sum(entry.size_bytes for entry in self.entries())
+
+    # -- budget eviction -----------------------------------------------------
+
+    def evict_to_budget(self, now: Optional[float] = None) -> int:
+        """Trim to the configured budget; returns entries removed.
+
+        Age eviction runs first (anything older than ``max_age_s``),
+        then count and byte budgets drop the oldest survivors until
+        both hold.  A concurrently re-written entry whose unlink fails
+        is simply skipped — last writer wins, as for ``put``.
+        """
+        budget = self.budget
+        if (budget.max_entries is None and budget.max_bytes is None
+                and budget.max_age_s is None):
+            return 0
+        clock = now if now is not None else time.time()
+        survivors: List[EntryInfo] = []
+        doomed: List[EntryInfo] = []
+        for entry in self.entries():
+            if (budget.max_age_s is not None
+                    and clock - entry.mtime > budget.max_age_s):
+                doomed.append(entry)
+            else:
+                survivors.append(entry)
+        if budget.max_entries is not None:
+            overflow = len(survivors) - budget.max_entries
+            if overflow > 0:
+                doomed.extend(survivors[:overflow])
+                survivors = survivors[overflow:]
+        if budget.max_bytes is not None:
+            remaining = sum(entry.size_bytes for entry in survivors)
+            index = 0
+            while remaining > budget.max_bytes and index < len(survivors):
+                doomed.append(survivors[index])
+                remaining -= survivors[index].size_bytes
+                index += 1
+        removed = 0
+        for entry in doomed:
+            try:
+                entry.path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self.stats.evicted += removed
+        return removed
+
+    def describe(self) -> dict:
+        """A JSON-ready summary for status endpoints and logs."""
+        inventory = self.entries()
+        return {
+            "root": str(self.root),
+            "entries": len(inventory),
+            "total_bytes": sum(entry.size_bytes for entry in inventory),
+            "budget": {
+                "max_entries": self.budget.max_entries,
+                "max_bytes": self.budget.max_bytes,
+                "max_age_s": self.budget.max_age_s,
+            },
+            "stats": {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "stores": self.stats.stores,
+                "corrupt": self.stats.corrupt,
+                "stale": self.stats.stale,
+                "evicted": self.stats.evicted,
+            },
+        }

@@ -1,0 +1,123 @@
+"""Named task registry for the channel-lab service.
+
+Python callers submit module-level functions directly
+(:meth:`~repro.service.scheduler.ChannelLabService.submit` takes the
+callable), but the HTTP and CLI front ends cannot ship code — they name
+a *registered task* and pass JSON kwargs.  This module is that
+registry, plus the built-in tasks every deployment serves:
+
+``noop``
+    Echoes its kwargs; the throughput smoke-test workload (the CI gate
+    drains >= 10k of these through the queue).
+``square``
+    ``x * x``; the minimal real computation, used by the HTTP
+    bit-identity smoke to compare the service path against an inline
+    :class:`~repro.runner.SweepRunner`.
+``demo_ber``
+    One covert transfer of a hex payload over a named channel on a
+    fresh simulated Cannon Lake part; returns JSON-ready BER /
+    throughput / received-payload fields.
+``fig13_digest``
+    The full golden-gated Figure 13 scenario reduced to its content
+    digest — submitting this over HTTP and comparing against the
+    committed golden proves the service path end to end.
+
+Task functions must be module-level and their kwargs picklable, exactly
+the :class:`~repro.runner.SweepRunner` contract, because workers may
+fan them out over process pools.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.errors import ConfigError
+
+#: The registry: task name -> module-level callable.
+_REGISTRY: Dict[str, Callable[..., Any]] = {}
+
+
+def register_task(name: str,
+                  fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Register ``fn`` under ``name``; returns ``fn``.
+
+    Re-registering a name is a :class:`~repro.errors.ConfigError` —
+    silently replacing a task would redirect queued submissions.
+    """
+    if name in _REGISTRY:
+        raise ConfigError(f"task {name!r} is already registered")
+    _REGISTRY[name] = fn
+    return fn
+
+
+def get_task(name: str) -> Callable[..., Any]:
+    """The registered task called ``name`` (ConfigError on a typo)."""
+    fn = _REGISTRY.get(name)
+    if fn is None:
+        raise ConfigError(f"unknown task {name!r}; registered tasks: "
+                          f"{', '.join(task_names())}")
+    return fn
+
+
+def task_names() -> List[str]:
+    """Names of all registered tasks, sorted."""
+    return sorted(_REGISTRY)
+
+
+def noop(**kwargs: Any) -> Dict[str, Any]:
+    """Echo the kwargs back; the queue-drain smoke workload."""
+    return dict(kwargs)
+
+
+def square(x: float) -> float:
+    """``x * x`` — the minimal real task for bit-identity smokes."""
+    return x * x
+
+
+def demo_ber(channel: str = "thread",
+             message_hex: str = "494368616e6e656c73") -> Dict[str, Any]:
+    """One covert transfer on a fresh simulated part, JSON-ready.
+
+    ``channel`` is ``thread`` | ``smt`` | ``cores``; ``message_hex`` is
+    the payload as hex.  Every call builds its own
+    :class:`~repro.soc.system.System`, so results are deterministic and
+    independent of execution order — the sweep-runner contract.
+    """
+    from repro.core import IccCoresCovert, IccSMTcovert, IccThreadCovert
+    from repro.soc.config import cannon_lake_i3_8121u
+    from repro.soc.system import System
+
+    channels = {"thread": IccThreadCovert, "smt": IccSMTcovert,
+                "cores": IccCoresCovert}
+    channel_cls = channels.get(channel)
+    if channel_cls is None:
+        raise ConfigError(f"unknown channel {channel!r}; valid: "
+                          f"{', '.join(sorted(channels))}")
+    message = bytes.fromhex(message_hex)
+    report = channel_cls(System(cannon_lake_i3_8121u())).transfer(message)
+    return {
+        "channel": channel,
+        "sent_hex": message_hex,
+        "received_hex": report.received.hex(),
+        "ok": report.received == message,
+        "ber": float(report.ber),
+        "throughput_bps": float(report.throughput_bps),
+    }
+
+
+def fig13_digest() -> str:
+    """Content digest of the golden-gated Figure 13 scenario.
+
+    Identical by construction to what ``python -m repro.verify
+    --compute fig13_slice`` prints, so an HTTP client can prove the
+    service path reproduces the committed golden bit for bit.
+    """
+    from repro.verify.scenarios import compute_digest
+
+    return compute_digest("fig13_slice")
+
+
+register_task("noop", noop)
+register_task("square", square)
+register_task("demo_ber", demo_ber)
+register_task("fig13_digest", fig13_digest)

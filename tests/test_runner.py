@@ -1,18 +1,35 @@
 """Sweep runner: content-addressed cache + parallel execution."""
 
 import dataclasses
+import threading
 
 import numpy as np
 import pytest
 
 from repro.analysis.experiments import fig8_throttling
 from repro.errors import ConfigError
-from repro.runner import ResultCache, SweepRunner, code_version, task_key
+from repro.runner import (
+    ResultCache,
+    SweepRunner,
+    code_version,
+    reset_code_version,
+    task_key,
+)
 from repro.soc.config import cannon_lake_i3_8121u, coffee_lake_i7_9700k
 
 
 def _square(x):
     """Module-level so it pickles into pool workers."""
+    return x * x
+
+
+def _count_calls(x, counter_dir):
+    """Task that records each execution as a file (pool-visible)."""
+    import os
+    import tempfile
+
+    fd, _ = tempfile.mkstemp(dir=counter_dir, prefix=f"call-{x}-")
+    os.close(fd)
     return x * x
 
 
@@ -186,6 +203,79 @@ class TestSweepRunner:
         assert runner.last_run.executed == 3
 
 
+class TestInCallDeduplication:
+    """Duplicate tasks within one map call must execute exactly once."""
+
+    def test_duplicates_execute_once_with_cache(self, tmp_path):
+        # Regression: duplicates within one call each missed (the first
+        # had not been stored yet) and each executed.
+        counter_dir = tmp_path / "calls"
+        counter_dir.mkdir()
+        runner = SweepRunner(cache=ResultCache(root=tmp_path / "cache"))
+        tasks = [{"x": 7, "counter_dir": str(counter_dir)}] * 5
+        out = runner.map(_count_calls, tasks)
+        assert out == [49] * 5
+        assert runner.last_run.executed == 1
+        assert runner.last_run.deduped == 4
+        assert len(list(counter_dir.iterdir())) == 1
+
+    def test_duplicates_of_a_cache_hit_are_copies(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        SweepRunner(cache=cache).map(_square, [{"x": 3}])
+        runner = SweepRunner(cache=ResultCache(root=tmp_path))
+        out = runner.map(_square, [{"x": 3}, {"x": 3}, {"x": 2}])
+        assert out == [9, 9, 4]
+        assert runner.last_run.cache_hits == 1
+        assert runner.last_run.deduped == 1
+        assert runner.last_run.executed == 1
+
+    def test_mixed_duplicates_parallel(self, tmp_path):
+        runner = SweepRunner(jobs=3, cache=ResultCache(root=tmp_path))
+        tasks = [{"x": x} for x in (1, 2, 1, 3, 2, 1)]
+        assert runner.map(_square, tasks) == [1, 4, 1, 9, 4, 1]
+        assert runner.last_run.executed == 3
+        assert runner.last_run.deduped == 3
+
+    def test_no_cache_means_no_dedup(self, tmp_path):
+        # Without a cache there are no content addresses; behaviour is
+        # unchanged (each duplicate runs).
+        counter_dir = tmp_path / "calls"
+        counter_dir.mkdir()
+        runner = SweepRunner()
+        tasks = [{"x": 7, "counter_dir": str(counter_dir)}] * 3
+        assert runner.map(_count_calls, tasks) == [49] * 3
+        assert runner.last_run.executed == 3
+        assert runner.last_run.deduped == 0
+        assert len(list(counter_dir.iterdir())) == 3
+
+
+class TestCodeVersionReset:
+    """The memoized source digest must be resettable and thread-safe."""
+
+    def test_reset_recomputes_same_digest_for_same_sources(self):
+        first = code_version()
+        reset_code_version()
+        assert code_version() == first
+
+    def test_concurrent_first_computation_is_consistent(self):
+        reset_code_version()
+        results = []
+        lock = threading.Lock()
+
+        def probe():
+            value = code_version()
+            with lock:
+                results.append(value)
+
+        threads = [threading.Thread(target=probe) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(results)) == 1
+        assert results[0] == code_version()
+
+
 class TestSweepFailureSemantics:
     """A crashed sweep must not discard or forget its siblings' work."""
 
@@ -230,6 +320,35 @@ class TestSweepFailureSemantics:
             SweepRunner().map(_fail_on_three, [{"x": 3}])
         assert excinfo.value.task_index == 0
         assert excinfo.value.task_kwargs == {"x": 3}
+
+    def test_executed_counts_completions_not_pending(self):
+        # Regression: executed was set to len(pending) before anything
+        # ran, so a sweep that died on task 0 of N reported N executed.
+        runner = SweepRunner()
+        with pytest.raises(ValueError):
+            runner.map(_fail_on_three, [{"x": 3}] + [{"x": x}
+                                                     for x in range(10)])
+        assert runner.last_run.tasks == 11
+        assert runner.last_run.executed == 0
+        assert runner.total.executed == 0
+
+    def test_stats_consistent_on_serial_failure_path(self, tmp_path):
+        runner = SweepRunner(cache=ResultCache(root=tmp_path))
+        with pytest.raises(ValueError):
+            runner.map(_fail_on_three, [{"x": x} for x in range(6)])
+        # Tasks 0..2 completed before the crash on task 3.
+        assert runner.last_run.tasks == 6
+        assert runner.last_run.executed == 3
+        assert runner.total.tasks == 6
+        assert runner.total.executed == 3
+
+    def test_stats_consistent_on_parallel_failure_path(self, tmp_path):
+        runner = SweepRunner(jobs=3, cache=ResultCache(root=tmp_path))
+        with pytest.raises(ValueError):
+            runner.map(_fail_on_three, [{"x": x} for x in range(6)])
+        # Five of six futures complete; the sixth is the failure.
+        assert runner.last_run.executed == 5
+        assert runner.total.executed == 5
 
 
 class TestExperimentDeterminism:

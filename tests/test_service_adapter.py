@@ -1,0 +1,78 @@
+"""Tests for repro.service.adapter — the runner-shaped service facade."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runner import SweepRunner
+from repro.service import ArtifactStore, ServiceConfig, ServiceRunner
+
+
+def _double(x):
+    return x * 2
+
+
+def _boom(x):
+    raise ValueError(f"boom {x}")
+
+
+class TestRunnerContract:
+    def test_map_matches_inline_runner(self):
+        tasks = [{"x": i} for i in range(20)]
+        inline = SweepRunner().map(_double, tasks)
+        with ServiceRunner(ServiceConfig(workers=2,
+                                         batch_size=3)) as runner:
+            routed = runner.map(_double, tasks)
+        assert routed == inline
+
+    def test_call_single_task(self):
+        with ServiceRunner() as runner:
+            assert runner.call(_double, x=21) == 42
+
+    def test_empty_map_returns_empty(self):
+        with ServiceRunner() as runner:
+            assert runner.map(_double, []) == []
+
+    def test_stats_track_runs(self):
+        with ServiceRunner() as runner:
+            runner.map(_double, [{"x": i} for i in range(5)])
+            assert runner.last_run.tasks == 5
+            assert runner.last_run.executed == 5
+            runner.map(_double, [{"x": 9}])
+            assert runner.last_run.tasks == 1
+            assert runner.total.tasks == 6
+
+    def test_failure_reraises_annotated(self):
+        with ServiceRunner(ServiceConfig(max_retries=0)) as runner:
+            with pytest.raises(ValueError) as excinfo:
+                runner.map(_boom, [{"x": 3}])
+            assert excinfo.value.task_kwargs == {"x": 3}
+
+    def test_store_hits_on_second_sweep(self, tmp_path):
+        store = ArtifactStore(root=tmp_path / "store")
+        config = ServiceConfig(workers=2, store=store)
+        tasks = [{"x": i} for i in range(8)]
+        with ServiceRunner(config) as runner:
+            first = runner.map(_double, tasks)
+            second = runner.map(_double, tasks)
+        assert first == second
+        assert store.stats.hits >= 8
+
+    def test_closed_runner_rejects_work(self):
+        runner = ServiceRunner()
+        runner.close()
+        with pytest.raises(ConfigError):
+            runner.map(_double, [{"x": 1}])
+        # close is idempotent
+        runner.close()
+
+
+class TestScenarioEquivalence:
+    def test_fig8_document_identical_through_service(self):
+        """A real experiment document is bit-identical via the queue."""
+        from repro.verify.scenarios import compute_document
+
+        inline = compute_document("fig8_slice", runner=SweepRunner())
+        with ServiceRunner(ServiceConfig(workers=2,
+                                         batch_size=4)) as runner:
+            routed = compute_document("fig8_slice", runner=runner)
+        assert inline == routed

@@ -1,0 +1,181 @@
+"""Tests for repro.service.http — the stdlib HTTP front end."""
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+
+from repro.service import ChannelLabService, ServiceConfig, ServiceHTTP
+
+
+def _with_server(client_fn, config=None):
+    """Run ``client_fn(base_url)`` on a thread against a live server.
+
+    The service + HTTP front end run on this thread's event loop; the
+    blocking urllib client runs on a helper thread so the loop stays
+    free to serve it.  Returns whatever ``client_fn`` returns.
+    """
+    async def body():
+        service = await ChannelLabService(
+            config if config is not None else ServiceConfig(workers=2)
+        ).start()
+        front = await ServiceHTTP(service).start(port=0)
+        base = f"http://127.0.0.1:{front.port}"
+        box = {}
+
+        def client():
+            try:
+                box["result"] = client_fn(base)
+            except BaseException as exc:  # pragma: no cover - fails test
+                box["error"] = exc
+
+        thread = threading.Thread(target=client)
+        thread.start()
+        while thread.is_alive():
+            await asyncio.sleep(0.01)
+        thread.join()
+        await front.stop()
+        await service.stop(drain=False)
+        if "error" in box:
+            raise box["error"]
+        return box.get("result")
+
+    return asyncio.run(body())
+
+
+def _get(url):
+    with urllib.request.urlopen(url) as response:
+        return json.loads(response.read().decode())
+
+
+def _post(url, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else b""
+    request = urllib.request.Request(
+        url, data=data, method="POST",
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read().decode())
+
+
+class TestEndpoints:
+    def test_health_and_tasks(self):
+        def client(base):
+            assert _get(f"{base}/health") == {"ok": True}
+            names = _get(f"{base}/tasks")["tasks"]
+            assert "noop" in names and "square" in names
+        _with_server(client)
+
+    def test_submit_wait_results(self):
+        def client(base):
+            job = _post(f"{base}/jobs", {
+                "task": "square",
+                "kwargs_list": [{"x": i} for i in range(12)]})
+            assert job["tasks"] == 12
+            document = _get(f"{base}/jobs/{job['id']}/results?wait=1")
+            assert document["state"] == "done"
+            values = [record["value"] for record in document["results"]]
+            assert values == [i * i for i in range(12)]
+        _with_server(client)
+
+    def test_stream_is_ndjson_partials_then_summary(self):
+        def client(base):
+            job = _post(f"{base}/jobs", {
+                "task": "noop",
+                "kwargs_list": [{"i": i} for i in range(9)]})
+            lines = []
+            with urllib.request.urlopen(
+                    f"{base}/jobs/{job['id']}/stream") as response:
+                assert response.headers["Content-Type"] == (
+                    "application/x-ndjson")
+                for raw in response:
+                    lines.append(json.loads(raw))
+            assert len(lines) == 10
+            assert sorted(line["index"] for line in lines[:-1]) == list(
+                range(9))
+            assert lines[-1]["state"] == "done"
+        _with_server(client)
+
+    def test_job_listing_and_status(self):
+        def client(base):
+            job = _post(f"{base}/jobs", {
+                "task": "noop", "kwargs_list": [{}]})
+            _get(f"{base}/jobs/{job['id']}/results?wait=1")
+            listing = _get(f"{base}/jobs")["jobs"]
+            assert [item["id"] for item in listing] == [job["id"]]
+            status = _get(f"{base}/jobs/{job['id']}")
+            assert status["state"] == "done"
+        _with_server(client)
+
+    def test_cancel_over_http(self):
+        def client(base):
+            job = _post(f"{base}/jobs", {
+                "task": "noop",
+                "kwargs_list": [{"i": i} for i in range(1000)]})
+            response = _post(f"{base}/jobs/{job['id']}/cancel")
+            # Either the cancel landed while work remained, or the tiny
+            # job already drained; both are well-formed answers.
+            assert response["cancelled"] in (True, False)
+            status = _get(f"{base}/jobs/{job['id']}")
+            assert status["state"] in ("cancelled", "done")
+        _with_server(client, ServiceConfig(workers=1, batch_size=4))
+
+    def test_metrics_includes_store_summary(self, tmp_path):
+        from repro.service import ArtifactStore
+
+        store = ArtifactStore(root=tmp_path / "store")
+
+        def client(base):
+            document = _get(f"{base}/metrics")
+            assert "utilization" in document
+            assert document["store"]["entries"] == 0
+        _with_server(client, ServiceConfig(workers=1, store=store))
+
+
+class TestErrorHandling:
+    def test_unknown_endpoint_is_404(self):
+        def client(base):
+            try:
+                _get(f"{base}/nope")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 404
+                return
+            raise AssertionError("expected a 404")
+        _with_server(client)
+
+    def test_unknown_job_is_404(self):
+        def client(base):
+            try:
+                _get(f"{base}/jobs/job-999999")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 404
+                return
+            raise AssertionError("expected a 404")
+        _with_server(client)
+
+    def test_bad_submit_bodies_are_400(self):
+        def client(base):
+            for payload in (
+                    {"task": "noop"},                      # no kwargs_list
+                    {"task": "noop", "kwargs_list": []},   # empty
+                    {"task": "noop", "kwargs_list": [1]},  # not objects
+                    {"task": 7, "kwargs_list": [{}]},      # bad task type
+                    {"task": "missing", "kwargs_list": [{}]},  # unknown
+            ):
+                try:
+                    _post(f"{base}/jobs", payload)
+                except urllib.error.HTTPError as exc:
+                    assert exc.code == 400, payload
+                else:
+                    raise AssertionError(f"expected 400 for {payload}")
+        _with_server(client)
+
+    def test_wrong_method_is_405(self):
+        def client(base):
+            try:
+                _post(f"{base}/tasks")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 405
+                return
+            raise AssertionError("expected a 405")
+        _with_server(client)

@@ -1,0 +1,382 @@
+"""Tests for repro.service.scheduler — the async channel-lab service."""
+
+import asyncio
+import json
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+import repro.service.scheduler as scheduler_mod
+from repro.errors import ConfigError
+from repro.service import ArtifactStore, ChannelLabService, ServiceConfig
+from repro.service.scheduler import _execute_batch
+from repro.runner import SweepRunner
+
+
+def run(coro):
+    """Run one async test body on a fresh event loop."""
+    return asyncio.run(coro)
+
+
+def _identify(x):
+    return {"x": x}
+
+
+def _boom(x):
+    raise ValueError(f"boom {x}")
+
+
+def _fail_until_marker(x, marker_dir):
+    """Fails on the first attempt; succeeds once the marker exists."""
+    from pathlib import Path
+
+    marker = Path(marker_dir) / f"marker-{x}"
+    if marker.exists():
+        return {"retried": x}
+    marker.write_text("seen")
+    raise ValueError(f"first attempt {x}")
+
+
+def _slow_identify(x, delay_s=0.05):
+    import time
+
+    time.sleep(delay_s)
+    return {"x": x}
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            ServiceConfig(workers=0)
+        with pytest.raises(ConfigError):
+            ServiceConfig(runner_jobs=0)
+        with pytest.raises(ConfigError):
+            ServiceConfig(batch_size=0)
+        with pytest.raises(ConfigError):
+            ServiceConfig(max_retries=-1)
+        with pytest.raises(ConfigError):
+            ServiceConfig(backoff_base_s=-0.1)
+
+
+class TestSubmitAndComplete:
+    def test_results_in_input_order(self):
+        async def body():
+            async with ChannelLabService(ServiceConfig(workers=3)) as lab:
+                job = await lab.submit(
+                    _identify, [{"x": i} for i in range(40)])
+                await job.wait()
+                assert job.state == "done"
+                assert job.values() == [{"x": i} for i in range(40)]
+                assert job.completed == 40
+        run(body())
+
+    def test_submit_by_registered_name(self):
+        async def body():
+            async with ChannelLabService() as lab:
+                job = await lab.submit("square", [{"x": 7}])
+                await job.wait()
+                assert job.values() == [49]
+                assert job.name == "square"
+        run(body())
+
+    def test_submit_requires_started_service(self):
+        async def body():
+            lab = ChannelLabService()
+            with pytest.raises(ConfigError):
+                await lab.submit(_identify, [{"x": 1}])
+        run(body())
+
+    def test_empty_job_rejected(self):
+        async def body():
+            async with ChannelLabService() as lab:
+                with pytest.raises(ConfigError):
+                    await lab.submit(_identify, [])
+        run(body())
+
+    def test_unknown_job_id(self):
+        async def body():
+            async with ChannelLabService() as lab:
+                with pytest.raises(ConfigError):
+                    lab.job("job-999999")
+        run(body())
+
+
+class TestPriorityAndFairness:
+    def test_higher_priority_runs_first(self):
+        """With one worker, a high-priority job overtakes queued work."""
+        async def body():
+            order = []
+            config = ServiceConfig(workers=1, batch_size=1)
+            async with ChannelLabService(config) as lab:
+                low = await lab.submit(
+                    _slow_identify,
+                    [{"x": i, "delay_s": 0.01} for i in range(8)],
+                    priority=0)
+                high = await lab.submit(
+                    _slow_identify, [{"x": 100, "delay_s": 0.01}],
+                    priority=10)
+                async def watch(job, tag):
+                    async for _ in job.stream():
+                        order.append(tag)
+                await asyncio.gather(watch(low, "low"), watch(high, "high"))
+                # The single high-priority task cannot be last: it beat
+                # at least the tail of the low-priority batch.
+                assert "high" in order
+                assert order.index("high") < len(order) - 1
+        run(body())
+
+
+class TestStreaming:
+    def test_stream_sees_every_completion(self):
+        async def body():
+            async with ChannelLabService(ServiceConfig(workers=2)) as lab:
+                job = await lab.submit(
+                    _identify, [{"x": i} for i in range(25)])
+                seen = []
+                async for record in job.stream():
+                    seen.append(record)
+                assert len(seen) == 25
+                assert all(record.ok for record in seen)
+                assert sorted(r.index for r in seen) == list(range(25))
+        run(body())
+
+    def test_late_subscriber_replays_from_start(self):
+        async def body():
+            async with ChannelLabService() as lab:
+                job = await lab.submit(
+                    _identify, [{"x": i} for i in range(10)])
+                await job.wait()
+                replayed = [record async for record in job.stream()]
+                assert len(replayed) == 10
+        run(body())
+
+    def test_jsonl_sink_mirrors_stream(self, tmp_path):
+        async def body():
+            sink = tmp_path / "partials.jsonl"
+            async with ChannelLabService() as lab:
+                job = await lab.submit(
+                    _identify, [{"x": i} for i in range(6)],
+                    sink=str(sink))
+                await job.wait()
+            lines = [json.loads(line)
+                     for line in sink.read_text().splitlines()]
+            # 6 completion records plus the final job summary line.
+            assert len(lines) == 7
+            assert lines[-1]["state"] == "done"
+            assert sorted(line["index"] for line in lines[:-1]) == list(
+                range(6))
+        run(body())
+
+
+class TestFailuresAndRetry:
+    def test_permanent_failure_fails_the_job(self):
+        async def body():
+            config = ServiceConfig(workers=1, max_retries=1,
+                                   backoff_base_s=0.0)
+            async with ChannelLabService(config) as lab:
+                job = await lab.submit(_boom, [{"x": 1}])
+                await job.wait()
+                assert job.state == "failed"
+                record = job.results[0]
+                assert not record.ok
+                assert "boom" in record.error
+                assert record.attempts == 2  # first try + one retry
+                with pytest.raises(ValueError):
+                    job.values()
+        run(body())
+
+    def test_retry_recovers_a_flaky_task(self, tmp_path):
+        async def body():
+            config = ServiceConfig(workers=1, max_retries=2,
+                                   backoff_base_s=0.0)
+            async with ChannelLabService(config) as lab:
+                job = await lab.submit(
+                    _fail_until_marker,
+                    [{"x": 5, "marker_dir": str(tmp_path)}])
+                await job.wait()
+                assert job.state == "done"
+                assert job.values() == [{"retried": 5}]
+                assert job.results[0].attempts == 2
+                retries = lab.tracer.metrics.counter(
+                    "service.retries").value
+                assert retries == 1
+        run(body())
+
+    def test_failure_annotates_task_identity(self):
+        async def body():
+            config = ServiceConfig(max_retries=0)
+            async with ChannelLabService(config) as lab:
+                job = await lab.submit(
+                    _boom, [{"x": 42}])
+                await job.wait()
+                assert job.error.task_kwargs == {"x": 42}
+        run(body())
+
+
+class TestCancel:
+    def test_cancel_queued_job(self):
+        async def body():
+            config = ServiceConfig(workers=1, batch_size=1)
+            async with ChannelLabService(config) as lab:
+                blocker = await lab.submit(
+                    _slow_identify, [{"x": 0, "delay_s": 0.2}])
+                victim = await lab.submit(
+                    _identify, [{"x": i} for i in range(50)])
+                assert await lab.cancel(victim.id)
+                await victim.wait()
+                assert victim.state == "cancelled"
+                with pytest.raises(ConfigError):
+                    victim.values()
+                await blocker.wait()
+                assert blocker.state == "done"
+        run(body())
+
+    def test_cancel_finished_job_returns_false(self):
+        async def body():
+            async with ChannelLabService() as lab:
+                job = await lab.submit(_identify, [{"x": 1}])
+                await job.wait()
+                assert not await lab.cancel(job.id)
+        run(body())
+
+
+class TestSingleFlightDedup:
+    def test_identical_tasks_across_jobs_execute_once(self, tmp_path):
+        """With a store, N jobs of the same task resolve one execution."""
+        async def body():
+            store = ArtifactStore(root=tmp_path / "store")
+            config = ServiceConfig(workers=2, store=store)
+            async with ChannelLabService(config) as lab:
+                jobs = [await lab.submit(_identify, [{"x": 9}])
+                        for _ in range(4)]
+                for job in jobs:
+                    await job.wait()
+                for job in jobs:
+                    assert job.values() == [{"x": 9}]
+            # One execution total: one store write, every other
+            # resolution is an in-flight follow or a store hit.
+            assert store.stats.stores == 1
+        run(body())
+
+    def test_duplicates_within_one_job(self, tmp_path):
+        async def body():
+            store = ArtifactStore(root=tmp_path / "store")
+            config = ServiceConfig(workers=1, store=store)
+            async with ChannelLabService(config) as lab:
+                job = await lab.submit(_identify, [{"x": 3}] * 5)
+                await job.wait()
+                assert job.values() == [{"x": 3}] * 5
+            assert store.stats.stores == 1
+        run(body())
+
+
+class TestWorkerLossSalvage:
+    def test_broken_pool_respawns_and_requeues(self, monkeypatch):
+        """A BrokenProcessPool dispatch re-queues the batch on a fresh
+        runner and the job still completes."""
+        real = _execute_batch
+        state = {"raised": 0}
+
+        def flaky(runner, fn, kwargs_seq):
+            if state["raised"] < 1:
+                state["raised"] += 1
+                raise BrokenProcessPool("pool died")
+            return real(runner, fn, kwargs_seq)
+
+        monkeypatch.setattr(scheduler_mod, "_execute_batch", flaky)
+
+        async def body():
+            config = ServiceConfig(workers=1, max_salvages=2)
+            async with ChannelLabService(config) as lab:
+                job = await lab.submit(
+                    _identify, [{"x": i} for i in range(4)])
+                await job.wait()
+                assert job.state == "done"
+                assert job.values() == [{"x": i} for i in range(4)]
+                respawns = lab.tracer.metrics.counter(
+                    "service.worker_respawns").value
+                assert respawns == 1
+                salvaged = lab.tracer.metrics.counter(
+                    "service.salvaged_tasks").value
+                assert salvaged >= 1
+        run(body())
+
+    def test_salvage_budget_exhaustion_fails_the_job(self, monkeypatch):
+        def always_broken(runner, fn, kwargs_seq):
+            raise BrokenProcessPool("pool died")
+
+        monkeypatch.setattr(scheduler_mod, "_execute_batch", always_broken)
+
+        async def body():
+            config = ServiceConfig(workers=1, max_salvages=1)
+            async with ChannelLabService(config) as lab:
+                job = await lab.submit(_identify, [{"x": 1}])
+                await job.wait()
+                assert job.state == "failed"
+                assert "pool lost" in job.results[0].error
+        run(body())
+
+
+class TestExecuteBatchSalvage:
+    def test_sibling_results_survive_a_mid_batch_failure(self, tmp_path):
+        """One failing task in a batch does not discard its siblings."""
+        store = ArtifactStore(root=tmp_path / "store")
+        runner = SweepRunner(cache=store)
+        outcomes, stats = _execute_batch(
+            runner, _boom_on_two,
+            [{"x": 1}, {"x": 2}, {"x": 3}])
+        assert [ok for ok, _, _ in outcomes] == [True, False, True]
+        assert outcomes[0][1] == 1 and outcomes[2][1] == 3
+        assert isinstance(outcomes[1][2], ValueError)
+        assert stats.tasks >= 3
+
+
+def _boom_on_two(x):
+    if x == 2:
+        raise ValueError("two is right out")
+    return x
+
+
+class TestObservability:
+    def test_utilization_reports_every_worker(self):
+        async def body():
+            config = ServiceConfig(workers=3)
+            async with ChannelLabService(config) as lab:
+                job = await lab.submit(
+                    _identify, [{"x": i} for i in range(30)])
+                await job.wait()
+                report = lab.utilization()
+                assert len(report["workers"]) == 3
+                total = sum(worker["tasks"]
+                            for worker in report["workers"])
+                assert total == 30
+                assert report["queue_depth"] == 0
+        run(body())
+
+    def test_trace_and_metrics_export(self, tmp_path):
+        async def body():
+            async with ChannelLabService() as lab:
+                job = await lab.submit(_identify, [{"x": 1}])
+                await job.wait()
+                trace_path = tmp_path / "trace.json"
+                metrics_path = tmp_path / "metrics.json"
+                lab.export_chrome_trace(str(trace_path))
+                lab.export_metrics(str(metrics_path))
+                trace = json.loads(trace_path.read_text())
+                names = {event["name"]
+                         for event in trace["traceEvents"]}
+                assert "service.batch" in names
+                metrics = json.loads(metrics_path.read_text())
+                assert metrics["counters"]["service.tasks_completed"] == 1
+        run(body())
+
+    def test_job_describe_is_json_ready(self):
+        async def body():
+            async with ChannelLabService() as lab:
+                job = await lab.submit(_identify, [{"x": 1}])
+                await job.wait()
+                document = json.loads(json.dumps(job.describe()))
+                assert document["state"] == "done"
+                assert document["tasks"] == 1
+                assert document["ok"] == 1
+        run(body())

@@ -1,0 +1,266 @@
+"""Tests for repro.service.store — the shared artifact store."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runner import ResultCache
+from repro.service.store import (
+    ARTIFACT_SCHEMA,
+    ArtifactStore,
+    EntryInfo,
+    StoreBudget,
+    StoreStats,
+)
+
+
+def _store(tmp_path, **kwargs):
+    return ArtifactStore(root=tmp_path / "store", version="v1", **kwargs)
+
+
+class TestEnvelopeRoundtrip:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("aa" * 32, {"x": 1, "values": [1.5, 2.5]})
+        hit, value = store.get("aa" * 32)
+        assert hit
+        assert value == {"x": 1, "values": [1.5, 2.5]}
+        assert store.stats.hits == 1
+        assert store.stats.stores == 1
+
+    def test_miss_is_a_plain_miss(self, tmp_path):
+        store = _store(tmp_path)
+        hit, value = store.get("bb" * 32)
+        assert not hit and value is None
+        assert store.stats.misses == 1
+        assert store.stats.stale == 0
+
+    def test_envelope_records_schema_and_code(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("cc" * 32, 42)
+        raw = pickle.loads(store._path("cc" * 32).read_bytes())
+        assert raw["__artifact__"] == ARTIFACT_SCHEMA
+        assert raw["code"] == "v1"
+        assert raw["value"] == 42
+
+    def test_drop_in_for_result_cache(self, tmp_path):
+        """A SweepRunner-style get/put cycle works unchanged."""
+        store = _store(tmp_path)
+        assert isinstance(store, ResultCache)
+        key = store.key_for(_square_task, {"x": 3})
+        hit, _ = store.get(key)
+        assert not hit
+        store.put(key, 9)
+        hit, value = store.get(key)
+        assert hit and value == 9
+
+
+def _square_task(x):
+    return x * x
+
+
+class TestStaleEntries:
+    def test_foreign_pickle_is_stale_not_served(self, tmp_path):
+        """A pre-service ResultCache entry is unlinked, never returned."""
+        store = _store(tmp_path)
+        plain = ResultCache(root=store.root, version="v1")
+        plain.put("dd" * 32, {"raw": "unwrapped"})
+        hit, value = store.get("dd" * 32)
+        assert not hit and value is None
+        assert store.stats.stale == 1
+        assert store.stats.misses == 1
+        assert store.stats.hits == 0
+        assert not store._path("dd" * 32).exists()
+
+    def test_future_schema_is_stale(self, tmp_path):
+        store = _store(tmp_path)
+        alien = {"__artifact__": ARTIFACT_SCHEMA + 1, "value": 1}
+        ResultCache(root=store.root, version="v1").put("ee" * 32, alien)
+        hit, _ = store.get("ee" * 32)
+        assert not hit
+        assert store.stats.stale == 1
+
+    def test_corrupt_entry_still_counted_as_corrupt(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("ff" * 32, 1)
+        store._path("ff" * 32).write_bytes(b"not a pickle")
+        hit, _ = store.get("ff" * 32)
+        assert not hit
+        assert store.stats.corrupt == 1
+        assert store.stats.stale == 0
+
+
+class TestInventory:
+    def test_entries_oldest_first(self, tmp_path):
+        import os
+
+        store = _store(tmp_path)
+        for index, key in enumerate(["aa" * 32, "bb" * 32, "cc" * 32]):
+            store.put(key, index)
+            path = store._path(key)
+            os.utime(path, (1000.0 + index, 1000.0 + index))
+        inventory = store.entries()
+        assert [entry.key for entry in inventory] == [
+            "aa" * 32, "bb" * 32, "cc" * 32]
+        assert all(isinstance(entry, EntryInfo) for entry in inventory)
+        assert store.total_bytes() == sum(
+            entry.size_bytes for entry in inventory)
+
+    def test_describe_is_json_ready(self, tmp_path):
+        import json
+
+        store = _store(tmp_path, budget=StoreBudget(max_entries=10))
+        store.put("aa" * 32, 1)
+        document = json.loads(json.dumps(store.describe()))
+        assert document["entries"] == 1
+        assert document["budget"]["max_entries"] == 10
+        assert document["stats"]["stores"] == 1
+
+
+class TestBudgetEviction:
+    def test_no_budget_is_a_noop(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("aa" * 32, 1)
+        assert store.evict_to_budget() == 0
+        assert len(store) == 1
+
+    def test_max_entries_drops_oldest(self, tmp_path):
+        import os
+
+        store = _store(tmp_path, budget=StoreBudget(max_entries=2))
+        for index, key in enumerate(["aa" * 32, "bb" * 32, "cc" * 32]):
+            store.put(key, index)
+            os.utime(store._path(key), (1000.0 + index, 1000.0 + index))
+        assert store.evict_to_budget() == 1
+        assert not store._path("aa" * 32).exists()
+        assert store._path("bb" * 32).exists()
+        assert store.stats.evicted == 1
+
+    def test_max_bytes_drops_oldest_until_under(self, tmp_path):
+        import os
+
+        store = _store(tmp_path)
+        for index, key in enumerate(["aa" * 32, "bb" * 32, "cc" * 32]):
+            store.put(key, list(range(200)))
+            os.utime(store._path(key), (1000.0 + index, 1000.0 + index))
+        per_entry = store.total_bytes() // 3
+        store.budget = StoreBudget(max_bytes=per_entry * 2)
+        removed = store.evict_to_budget()
+        assert removed == 1
+        assert not store._path("aa" * 32).exists()
+        assert store.total_bytes() <= per_entry * 2
+
+    def test_max_age_drops_expired(self, tmp_path):
+        import os
+
+        store = _store(tmp_path, budget=StoreBudget(max_age_s=100.0))
+        store.put("aa" * 32, 1)
+        store.put("bb" * 32, 2)
+        os.utime(store._path("aa" * 32), (1000.0, 1000.0))
+        os.utime(store._path("bb" * 32), (5000.0, 5000.0))
+        assert store.evict_to_budget(now=5050.0) == 1
+        assert not store._path("aa" * 32).exists()
+        assert store._path("bb" * 32).exists()
+
+    def test_budget_validation(self):
+        with pytest.raises(ConfigError):
+            StoreBudget(max_entries=-1)
+        with pytest.raises(ConfigError):
+            StoreBudget(max_bytes=-1)
+        with pytest.raises(ConfigError):
+            StoreBudget(max_age_s=-0.5)
+
+
+class TestConcurrency:
+    def test_evict_racing_put_never_loses_the_new_entry(self, tmp_path):
+        """An eviction sweep racing in-flight puts cannot corrupt state.
+
+        Hammers the same keys with puts on several threads while another
+        thread runs aggressive budget evictions.  Afterwards every key
+        either misses cleanly or returns one of the values some thread
+        wrote — never a corrupt or half-written entry.
+        """
+        store = _store(tmp_path, budget=StoreBudget(max_entries=2))
+        keys = [f"{index:02d}" * 32 for index in range(6)]
+        stop = threading.Event()
+        errors = []
+
+        def writer(seed):
+            try:
+                for round_index in range(50):
+                    for key in keys:
+                        store.put(key, {"seed": seed, "round": round_index})
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        def evictor():
+            try:
+                while not stop.is_set():
+                    store.evict_to_budget()
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(seed,))
+                   for seed in range(3)]
+        sweeper = threading.Thread(target=evictor)
+        sweeper.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        sweeper.join()
+        assert not errors
+        for key in keys:
+            hit, value = store.get(key)
+            if hit:
+                assert set(value) == {"seed", "round"}
+        assert store.stats.corrupt == 0
+        assert store.stats.stale == 0
+
+    def test_corrupt_entry_unlink_under_parallel_readers(self, tmp_path):
+        """Many readers hitting one corrupt entry: every read is a clean
+        miss, the entry is unlinked at most once, and nothing raises."""
+        store = _store(tmp_path)
+        key = "ab" * 32
+        store.put(key, 1)
+        store._path(key).write_bytes(b"\x80garbage")
+        results = []
+        errors = []
+
+        def reader():
+            try:
+                results.append(store.get(key))
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert all(hit is False and value is None
+                   for hit, value in results)
+        assert not store._path(key).exists()
+        assert store.stats.corrupt >= 1
+
+    def test_eviction_leaves_tmp_files_alone(self, tmp_path):
+        """In-flight tempfile writes are invisible to the eviction scan."""
+        store = _store(tmp_path, budget=StoreBudget(max_entries=0))
+        store.put("aa" * 32, 1)
+        bucket = store._path("aa" * 32).parent
+        tmp_file = bucket / "inflight.tmp"
+        tmp_file.write_bytes(b"partial")
+        assert store.evict_to_budget() == 1
+        assert tmp_file.exists()
+
+
+class TestStatsType:
+    def test_store_stats_extends_cache_stats(self, tmp_path):
+        store = _store(tmp_path)
+        assert isinstance(store.stats, StoreStats)
+        assert store.stats.stale == 0
+        assert store.stats.evicted == 0
