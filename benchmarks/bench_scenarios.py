@@ -1,0 +1,28 @@
+"""Scenario library: declarative runs must stay cheap enough to gate.
+
+The verify goldens, the docs regenerator, and the CI gates all lean on
+``run_scenario`` being fast — the determinism auditor re-runs every
+golden scenario in fresh interpreters, so a slow scenario multiplies
+straight into the gate's wall clock.  This benchmark pins the
+two-tenant interference scenario (the most expensive registered
+golden: two calibrations plus two interleaved transfers on one shared
+PMU) and records the per-tenant outcome in ``extra_info`` so the gate
+artifact shows the channel quality alongside the timing.
+"""
+
+from repro.scenarios import run_scenario
+
+SCENARIO = "interference_2pair"
+
+
+def test_bench_scenario_interference(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_scenario(SCENARIO), rounds=5, iterations=1)
+    assert len(run.tenants) == 2
+    assert all(tenant.feasible for tenant in run.tenants)
+
+    benchmark.extra_info["scenario"] = SCENARIO
+    benchmark.extra_info["mean_ber"] = round(run.mean_ber, 4)
+    benchmark.extra_info["aggregate_goodput_bps"] = round(
+        run.aggregate_goodput_bps, 1)
+    benchmark.extra_info["slot_ns"] = run.slot_ns

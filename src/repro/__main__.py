@@ -8,8 +8,10 @@ process pool and ``--cache-dir PATH`` caches their results (see
 ``--faults SPEC`` attaches fault models from :mod:`repro.faults` (try
 ``--faults default``) and ``--adaptive`` routes each message through
 the adaptive session — together they demo the resilience story from
-docs/FAULTS.md.  For the full paper regeneration use
-``python -m repro.analysis.report``.
+docs/FAULTS.md.  ``--scenario NAME`` runs a named topology from the
+declarative scenario library instead (see docs/SCENARIOS.md and
+``python -m repro.scenarios list``).  For the full paper regeneration
+use ``python -m repro.analysis.report``.
 """
 
 from __future__ import annotations
@@ -90,7 +92,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--adaptive", action="store_true",
         help="send through the adaptive session (re-calibration, "
              "backoff, two-level degradation) instead of bare transfers")
+    parser.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="run a named scenario from the declarative library instead "
+             "of the demo (see `python -m repro.scenarios list` and "
+             "docs/SCENARIOS.md)")
     args = parser.parse_args(list(argv) if argv is not None else [])
+    if args.scenario is not None:
+        from repro.scenarios.__main__ import _cmd_run
+        try:
+            return _cmd_run(args.scenario)
+        except ConfigError as exc:
+            parser.error(f"--scenario: {exc}")
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.faults:

@@ -1,0 +1,122 @@
+"""CLI for the scenario library: ``python -m repro.scenarios ...``.
+
+Subcommands:
+
+``list``
+    All registered scenarios with their one-line descriptions.
+``show NAME``
+    The canonical mapping of one scenario as JSON (feed it back
+    through ``ScenarioSpec.from_mapping`` to reproduce the spec).
+``run NAME``
+    Run one scenario end to end and print per-tenant BER/goodput.
+``docs [--check] [--path PATH]``
+    Regenerate the scenario reference block in docs/SCENARIOS.md —
+    or, with ``--check``, fail if the committed file drifted from the
+    registry (the CI docs job runs this).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.scenarios.docsgen import DEFAULT_DOCS_PATH, check_docs, render_docs
+from repro.scenarios.registry import all_specs, get_spec
+from repro.scenarios.run import run_scenario
+
+
+def _cmd_list() -> int:
+    """Print every registered scenario and its description."""
+    for spec in all_specs():
+        print(f"{spec.name:22s} {spec.description}")
+    return 0
+
+
+def _cmd_show(name: str) -> int:
+    """Print one scenario's canonical mapping as indented JSON."""
+    print(json.dumps(get_spec(name).to_mapping(), indent=2, sort_keys=False))
+    return 0
+
+
+def _cmd_run(name: str) -> int:
+    """Run one scenario and print its per-tenant outcome summary."""
+    run = run_scenario(name)
+    spec = run.spec
+    print(f"scenario: {spec.name} (preset {spec.preset}, "
+          f"{len(spec.tenants)} tenant(s))")
+    for tenant in run.tenants:
+        state = "ok" if tenant.feasible else "infeasible"
+        print(f"  tenant {tenant.index} [{tenant.channel:6s}] "
+              f"cores {tenant.sender_core}->{tenant.receiver_core}: "
+              f"BER={tenant.ber:.3f}  "
+              f"goodput={tenant.goodput_bps:,.0f} bit/s  [{state}]")
+    print(f"mean BER {run.mean_ber:.3f}, aggregate goodput "
+          f"{run.aggregate_goodput_bps:,.0f} bit/s")
+    return 0
+
+
+def _cmd_docs(path: str, check: bool) -> int:
+    """Regenerate (or with ``check`` verify) the docs reference block."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    if check:
+        drift = check_docs(text)
+        if drift:
+            print(f"{path} drifted from the scenario registry "
+                  f"({len(drift)} difference(s)); regenerate with "
+                  f"`python -m repro.scenarios docs`:", file=sys.stderr)
+            for line in drift[:20]:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"{path}: scenario reference is up to date")
+        return 0
+    fresh = render_docs(text)
+    if fresh == text:
+        print(f"{path}: already up to date")
+        return 0
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(fresh)
+    print(f"{path}: scenario reference regenerated")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Declarative scenario library (see docs/SCENARIOS.md).")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list registered scenarios")
+    show = sub.add_parser("show", help="print one scenario's mapping (JSON)")
+    show.add_argument("name")
+    run = sub.add_parser("run", help="run one scenario end to end")
+    run.add_argument("name")
+    docs = sub.add_parser(
+        "docs", help="regenerate the docs/SCENARIOS.md reference block")
+    docs.add_argument("--check", action="store_true",
+                      help="fail instead of rewriting when drifted")
+    docs.add_argument("--path", default=DEFAULT_DOCS_PATH,
+                      help=f"reference file (default: {DEFAULT_DOCS_PATH})")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "show":
+            return _cmd_show(args.name)
+        if args.command == "run":
+            return _cmd_run(args.name)
+        return _cmd_docs(args.path, args.check)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,681 @@
+"""Declarative scenario specifications (the scenario library's grammar).
+
+A :class:`ScenarioSpec` is a frozen, validated description of one
+complete experiment: which processor preset (and overrides) to build,
+which mitigation options and PMU behaviour knobs to apply, which covert
+tenants share the package and where they are pinned, what OS noise,
+faults, and background workloads surround them, and what payload the
+tenants transfer.  Everything is plain data with a dict/TOML-friendly
+:meth:`ScenarioSpec.from_mapping` / :meth:`ScenarioSpec.to_mapping`
+round-trip, so scenarios can live in files, travel over the service
+HTTP API, and be digested by :mod:`repro.verify` without touching code.
+
+Validation is front-loaded and actionable: unknown fields, impossible
+topologies (a tenant on a core the preset does not have, two tenants
+sharing a hardware thread, SMT placement on a part without SMT), bad
+payloads, and unparseable fault specs all raise
+:class:`~repro.errors.ConfigError` naming the offending field and the
+valid alternatives at construction time, never mid-run.
+
+See docs/SCENARIOS.md for the full grammar and worked examples.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.core.channel import ChannelConfig
+from repro.errors import ConfigError
+from repro.faults import parse_fault_spec
+from repro.isa.instructions import IClass
+from repro.isa.workload import (
+    PhaseTrace,
+    browser_like_trace,
+    calculix_like_trace,
+    ml_inference_like_trace,
+    power_virus,
+    random_phi_schedule,
+    sevenzip_like_trace,
+    video_codec_like_trace,
+)
+from repro.pmu.central import GRANT_POLICIES
+from repro.soc.config import PRESETS, ProcessorConfig, preset
+from repro.soc.noise import NoiseConfig
+from repro.soc.system import SystemOptions
+
+#: Covert-channel placements a :class:`TenantSpec` accepts, mirroring
+#: the paper's three channels (Section 4.3): same hardware thread,
+#: across SMT siblings, across physical cores.
+CHANNEL_KINDS: Tuple[str, ...] = ("thread", "smt", "cores")
+
+#: Workload kinds a :class:`WorkloadSpec` can synthesise.  All but
+#: ``replay`` map to the factories in :mod:`repro.isa.workload`;
+#: ``replay`` plays back an explicit recorded phase list.
+WORKLOAD_KINDS: Tuple[str, ...] = (
+    "browser", "sevenzip", "calculix", "ml_inference", "video_codec",
+    "power_virus", "phi_schedule", "replay",
+)
+
+#: Scalar :class:`~repro.soc.config.ProcessorConfig` fields a scenario
+#: may override on top of its preset.  Deliberately narrow: structural
+#: fields (V/F points, turbo ceilings, thermal spec) stay preset-owned.
+OVERRIDABLE_FIELDS: Tuple[str, ...] = (
+    "n_cores", "base_freq_ghz", "reset_time_us", "pll_relock_ns",
+    "vr_slew_mv_per_us", "vr_command_latency_ns", "vid_step_mv",
+    "r_ll_mohm", "droop_margin_mv",
+)
+
+#: Valid scenario names: lowercase identifiers (also golden file stems).
+_NAME_RE = re.compile(r"[a-z][a-z0-9_]*")
+
+
+def _require_keys(mapping: Mapping[str, Any], valid: Iterable[str],
+                  context: str) -> None:
+    """Reject unknown mapping keys with the valid alternatives listed."""
+    valid = tuple(valid)
+    unknown = sorted(set(mapping) - set(valid))
+    if unknown:
+        raise ConfigError(
+            f"unknown {context} field(s) {', '.join(map(repr, unknown))}; "
+            f"valid fields: {', '.join(valid)}")
+
+
+@dataclass(frozen=True)
+class PMUSpec:
+    """Central-PMU behaviour knobs of one scenario.
+
+    Parameters
+    ----------
+    queue_depth:
+        Per-rail transition queue bound; 0 (default) is the unbounded
+        mailbox the paper characterises.  See
+        :class:`repro.pmu.central.PMUConfig`.
+    grant_policy:
+        ``"serialized"`` (paper behaviour) or ``"coalesced"`` (batch
+        all queued up-requests into one transition).
+    """
+
+    queue_depth: int = 0
+    grant_policy: str = "serialized"
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 0:
+            raise ConfigError(
+                f"pmu.queue_depth must be >= 0 (0 = unbounded), "
+                f"got {self.queue_depth}")
+        if self.grant_policy not in GRANT_POLICIES:
+            raise ConfigError(
+                f"pmu.grant_policy must be one of {GRANT_POLICIES}, "
+                f"got {self.grant_policy!r}")
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "PMUSpec":
+        """Build from a plain dict; unknown keys raise ConfigError."""
+        _require_keys(mapping, ("queue_depth", "grant_policy"), "pmu")
+        return cls(queue_depth=int(mapping.get("queue_depth", 0)),
+                   grant_policy=str(mapping.get("grant_policy", "serialized")))
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """Canonical plain-dict form (every field explicit)."""
+        return {"queue_depth": self.queue_depth,
+                "grant_policy": self.grant_policy}
+
+
+@dataclass(frozen=True)
+class OptionsSpec:
+    """Mitigation/ablation switches forwarded to ``SystemOptions``.
+
+    Each field mirrors the identically named
+    :class:`~repro.soc.system.SystemOptions` switch; the PMU knobs and
+    kernel mode are carried elsewhere (:class:`PMUSpec`, environment).
+    """
+
+    per_core_vr: bool = False
+    ldo_rails: bool = False
+    improved_throttling: bool = False
+    secure_mode: bool = False
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "OptionsSpec":
+        """Build from a plain dict; unknown keys raise ConfigError."""
+        names = tuple(f.name for f in fields(cls))
+        _require_keys(mapping, names, "options")
+        return cls(**{name: bool(mapping.get(name, False)) for name in names})
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """Canonical plain-dict form (every field explicit)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """OS-noise profile applied to every tenant hardware thread.
+
+    The first four fields mirror :class:`~repro.soc.noise.NoiseConfig`;
+    ``horizon_ms`` bounds how long the noise processes run (covering
+    calibration plus transfer is enough) and ``seed`` makes the arrival
+    processes reproducible.
+    """
+
+    interrupt_rate_per_s: float = 500.0
+    interrupt_mean_us: float = 3.0
+    ctx_switch_rate_per_s: float = 100.0
+    ctx_switch_mean_us: float = 25.0
+    horizon_ms: float = 50.0
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.horizon_ms <= 0:
+            raise ConfigError(
+                f"noise.horizon_ms must be positive, got {self.horizon_ms}")
+        self.config()  # delegate rate/service-time validation
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "NoiseSpec":
+        """Build from a plain dict; unknown keys raise ConfigError."""
+        names = tuple(f.name for f in fields(cls))
+        _require_keys(mapping, names, "noise")
+        kwargs: Dict[str, Any] = {}
+        for name in names:
+            if name in mapping:
+                kwargs[name] = (int(mapping[name]) if name == "seed"
+                                else float(mapping[name]))
+        return cls(**kwargs)
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """Canonical plain-dict form (every field explicit)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def config(self) -> NoiseConfig:
+        """The :class:`~repro.soc.noise.NoiseConfig` this spec describes."""
+        return NoiseConfig(
+            interrupt_rate_per_s=self.interrupt_rate_per_s,
+            interrupt_mean_us=self.interrupt_mean_us,
+            ctx_switch_rate_per_s=self.ctx_switch_rate_per_s,
+            ctx_switch_mean_us=self.ctx_switch_mean_us,
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One background workload pinned to a hardware thread.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`WORKLOAD_KINDS`.  The synthetic kinds call the
+        matching :mod:`repro.isa.workload` factory; ``replay`` plays
+        the explicit ``phases`` list back verbatim (trace-driven replay
+        of a recorded :class:`~repro.isa.workload.PhaseTrace`).
+    core / smt_slot:
+        Hardware-thread pinning; collisions with tenants are rejected
+        by :class:`ScenarioSpec`.
+    duration_ms:
+        Trace length for the synthetic kinds (ignored by ``replay``,
+        where the phases carry their own durations).
+    seed:
+        Factory seed for the randomised synthetic kinds.
+    rate_per_s:
+        PHI-burst rate, used by ``phi_schedule`` only.
+    phases:
+        ``replay`` payload: ``((iclass_name, duration_ns), ...)`` pairs
+        where ``iclass_name`` is an :class:`~repro.isa.instructions.IClass`
+        member name (``"SCALAR_64"``, ``"HEAVY_256"``, ...).
+    """
+
+    kind: str
+    core: int = 1
+    smt_slot: int = 0
+    duration_ms: float = 20.0
+    seed: int = 7
+    rate_per_s: float = 200.0
+    phases: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "phases", tuple(
+            (str(name), float(duration)) for name, duration in self.phases))
+        if self.kind not in WORKLOAD_KINDS:
+            raise ConfigError(
+                f"unknown workload kind {self.kind!r}; "
+                f"valid kinds: {', '.join(WORKLOAD_KINDS)}")
+        if self.core < 0:
+            raise ConfigError(f"workload core must be >= 0, got {self.core}")
+        if self.smt_slot not in (0, 1):
+            raise ConfigError(
+                f"workload smt_slot must be 0 or 1, got {self.smt_slot}")
+        if self.duration_ms <= 0:
+            raise ConfigError(
+                f"workload duration_ms must be positive, got {self.duration_ms}")
+        if self.kind == "replay":
+            if not self.phases:
+                raise ConfigError(
+                    "a 'replay' workload needs a non-empty 'phases' list of "
+                    "[iclass_name, duration_ns] pairs")
+            for name, duration in self.phases:
+                if name not in IClass.__members__:
+                    raise ConfigError(
+                        f"unknown instruction class {name!r} in replay "
+                        f"phases; valid classes: "
+                        f"{', '.join(IClass.__members__)}")
+                if duration <= 0:
+                    raise ConfigError(
+                        f"replay phase durations must be positive ns, "
+                        f"got {duration} for {name}")
+        elif self.phases:
+            raise ConfigError(
+                f"'phases' is only valid for kind 'replay', "
+                f"not {self.kind!r}")
+
+    @classmethod
+    def replay(cls, trace: PhaseTrace, core: int = 1,
+               smt_slot: int = 0) -> "WorkloadSpec":
+        """Capture a recorded trace as a replayable workload spec."""
+        phases = tuple((phase.iclass.name, float(phase.duration_ns))
+                       for phase in trace)
+        duration_ms = max(trace.duration_ns / 1e6, 1e-6)
+        return cls(kind="replay", core=core, smt_slot=smt_slot,
+                   duration_ms=duration_ms, phases=phases)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "WorkloadSpec":
+        """Build from a plain dict; unknown keys raise ConfigError."""
+        names = tuple(f.name for f in fields(cls))
+        _require_keys(mapping, names, "workload")
+        if "kind" not in mapping:
+            raise ConfigError(
+                f"a workload mapping needs a 'kind' "
+                f"(one of: {', '.join(WORKLOAD_KINDS)})")
+        kwargs: Dict[str, Any] = {"kind": str(mapping["kind"])}
+        for name, convert in (("core", int), ("smt_slot", int),
+                              ("duration_ms", float), ("seed", int),
+                              ("rate_per_s", float)):
+            if name in mapping:
+                kwargs[name] = convert(mapping[name])
+        if "phases" in mapping:
+            kwargs["phases"] = tuple(
+                (str(name), float(duration))
+                for name, duration in mapping["phases"])
+        return cls(**kwargs)
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """Canonical plain-dict form (every field explicit)."""
+        return {
+            "kind": self.kind,
+            "core": self.core,
+            "smt_slot": self.smt_slot,
+            "duration_ms": self.duration_ms,
+            "seed": self.seed,
+            "rate_per_s": self.rate_per_s,
+            "phases": [[name, duration] for name, duration in self.phases],
+        }
+
+    def build_trace(self, max_vector_bits: int = 512) -> PhaseTrace:
+        """Materialise the workload as a phase trace.
+
+        ``max_vector_bits`` caps vector widths to what the target part
+        executes (an AVX2-only part gets 256-bit power viruses and PHI
+        bursts).
+        """
+        if self.kind == "replay":
+            trace = PhaseTrace(name="replay")
+            for name, duration_ns in self.phases:
+                trace.append(IClass[name], duration_ns)
+            return trace
+        if self.kind == "browser":
+            return browser_like_trace(self.duration_ms, seed=self.seed)
+        if self.kind == "sevenzip":
+            return sevenzip_like_trace(self.duration_ms, seed=self.seed)
+        if self.kind == "calculix":
+            return calculix_like_trace(self.duration_ms, seed=self.seed)
+        if self.kind == "ml_inference":
+            return ml_inference_like_trace(self.duration_ms,
+                                           width_bits=max_vector_bits,
+                                           seed=self.seed)
+        if self.kind == "video_codec":
+            return video_codec_like_trace(self.duration_ms, seed=self.seed)
+        if self.kind == "power_virus":
+            return power_virus(self.duration_ms, width_bits=max_vector_bits)
+        # phi_schedule: restrict burst classes to the part's vector width.
+        usable = tuple(c for c in (IClass.HEAVY_128, IClass.LIGHT_256,
+                                   IClass.HEAVY_256, IClass.HEAVY_512)
+                       if c.width_bits <= max_vector_bits)
+        return random_phi_schedule(self.duration_ms, self.rate_per_s,
+                                   classes=usable, seed=self.seed)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One covert sender/receiver pair (a tenant) and its placement.
+
+    Parameters
+    ----------
+    channel:
+        ``"thread"`` (IccThreadCovert: both parties time-share one
+        hardware thread), ``"smt"`` (IccSMTcovert: SMT siblings of one
+        core), or ``"cores"`` (IccCoresCovert: two physical cores
+        coupled through the shared rail).
+    sender_core / receiver_core:
+        Physical core pinning.  ``thread``/``smt`` tenants live on one
+        core, so both fields must match; ``cores`` tenants need two
+        distinct cores.
+    offset_fraction:
+        This tenant's slot-clock phase as a fraction of the common slot
+        (``0 <= f < 1``).  Spreading tenants across the slot moves
+        their voltage transitions out of each other's measurement
+        windows — the interference scenarios' main dial.
+    """
+
+    channel: str
+    sender_core: int = 0
+    receiver_core: int = 1
+    offset_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.channel not in CHANNEL_KINDS:
+            raise ConfigError(
+                f"unknown tenant channel {self.channel!r}; "
+                f"valid channels: {', '.join(CHANNEL_KINDS)}")
+        if self.sender_core < 0 or self.receiver_core < 0:
+            raise ConfigError(
+                f"tenant cores must be >= 0, got "
+                f"{self.sender_core}/{self.receiver_core}")
+        if self.channel in ("thread", "smt"):
+            if self.sender_core != self.receiver_core:
+                raise ConfigError(
+                    f"a {self.channel!r} tenant places both parties on one "
+                    f"core; set receiver_core == sender_core "
+                    f"(got {self.sender_core} vs {self.receiver_core})")
+        elif self.sender_core == self.receiver_core:
+            raise ConfigError(
+                f"a 'cores' tenant needs two distinct cores, got both "
+                f"on core {self.sender_core}")
+        if not 0.0 <= self.offset_fraction < 1.0:
+            raise ConfigError(
+                f"offset_fraction must be in [0, 1), "
+                f"got {self.offset_fraction}")
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "TenantSpec":
+        """Build from a plain dict; unknown keys raise ConfigError."""
+        names = tuple(f.name for f in fields(cls))
+        _require_keys(mapping, names, "tenant")
+        if "channel" not in mapping:
+            raise ConfigError(
+                f"a tenant mapping needs a 'channel' "
+                f"(one of: {', '.join(CHANNEL_KINDS)})")
+        kwargs: Dict[str, Any] = {"channel": str(mapping["channel"])}
+        for name, convert in (("sender_core", int), ("receiver_core", int),
+                              ("offset_fraction", float)):
+            if name in mapping:
+                kwargs[name] = convert(mapping[name])
+        return cls(**kwargs)
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """Canonical plain-dict form (every field explicit)."""
+        return {
+            "channel": self.channel,
+            "sender_core": self.sender_core,
+            "receiver_core": self.receiver_core,
+            "offset_fraction": self.offset_fraction,
+        }
+
+    def hardware_threads(self) -> Tuple[Tuple[int, int], ...]:
+        """``(core, smt_slot)`` pairs this tenant occupies exclusively."""
+        if self.channel == "thread":
+            return ((self.sender_core, 0),)
+        if self.channel == "smt":
+            return ((self.sender_core, 0), (self.sender_core, 1))
+        return ((self.sender_core, 0), (self.receiver_core, 0))
+
+
+#: Keys a scenario mapping may carry (the spec grammar's top level).
+_SPEC_KEYS: Tuple[str, ...] = (
+    "name", "description", "preset", "overrides", "options", "pmu",
+    "protocol", "tenants", "noise", "faults", "background",
+    "payload_hex", "seed",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete declarative scenario (see the module docstring).
+
+    Parameters
+    ----------
+    name / description:
+        Identity and one-line documentation; the name is also the
+        registry key, the CLI argument and the golden file stem.
+    preset / overrides:
+        Processor: a :data:`repro.soc.config.PRESETS` name plus scalar
+        field overrides from :data:`OVERRIDABLE_FIELDS`.
+    options / pmu:
+        Mitigation switches and PMU queue/grant-policy knobs.
+    protocol:
+        :class:`~repro.core.channel.ChannelConfig` field overrides
+        applied to every tenant's channel (e.g. shorter
+        ``training_rounds`` for cheap scenarios).
+    tenants:
+        The covert pairs sharing the package (at least one).
+    noise / faults / background:
+        Optional OS-noise profile, :mod:`repro.faults` spec string
+        (empty = none), and background workloads.
+    payload_hex / seed:
+        The transferred payload (hex) and the system RNG seed.
+    """
+
+    name: str
+    description: str
+    preset: str = "cannon_lake"
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+    options: OptionsSpec = OptionsSpec()
+    pmu: PMUSpec = PMUSpec()
+    protocol: Tuple[Tuple[str, Any], ...] = ()
+    tenants: Tuple[TenantSpec, ...] = (TenantSpec("thread", 0, 0),)
+    noise: Optional[NoiseSpec] = None
+    faults: str = ""
+    background: Tuple[WorkloadSpec, ...] = ()
+    payload_hex: str = "4943"
+    seed: int = 2021
+
+    def __post_init__(self) -> None:
+        # Normalise the collection fields so equal scenarios compare
+        # equal regardless of construction spelling (lists vs tuples,
+        # override ordering) — required for the mapping round-trip to
+        # be an identity.
+        object.__setattr__(self, "overrides", tuple(
+            sorted((str(k), v) for k, v in self.overrides)))
+        object.__setattr__(self, "protocol", tuple(
+            sorted((str(k), v) for k, v in self.protocol)))
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        object.__setattr__(self, "background", tuple(self.background))
+        self._validate()
+
+    def _validate(self) -> None:
+        """Front-loaded validation; every failure names its field."""
+        if not _NAME_RE.fullmatch(self.name):
+            raise ConfigError(
+                f"scenario name must be a lowercase identifier "
+                f"([a-z][a-z0-9_]*), got {self.name!r}")
+        if not self.description:
+            raise ConfigError(f"scenario {self.name!r} needs a description")
+        if self.preset not in PRESETS:
+            raise ConfigError(
+                f"unknown preset {self.preset!r}; "
+                f"valid presets: {', '.join(PRESETS)}")
+        for key, _ in self.overrides:
+            if key not in OVERRIDABLE_FIELDS:
+                raise ConfigError(
+                    f"override {key!r} is not allowed; overridable fields: "
+                    f"{', '.join(OVERRIDABLE_FIELDS)}")
+        base = preset(self.preset)
+        override_map = dict(self.overrides)
+        n_cores = int(override_map.get("n_cores", base.n_cores))
+        if n_cores > base.n_cores:
+            raise ConfigError(
+                f"n_cores override {n_cores} exceeds the {self.preset!r} "
+                f"preset's {base.n_cores} cores (its turbo-ceiling rows "
+                f"bound the core count); pick a bigger preset such as "
+                f"'skylake_sp'")
+        config = self.processor_config()  # ProcessorConfig re-validates
+        valid_protocol = tuple(f.name for f in fields(ChannelConfig))
+        for key, _ in self.protocol:
+            if key not in valid_protocol:
+                raise ConfigError(
+                    f"protocol override {key!r} is not a ChannelConfig "
+                    f"field; valid fields: {', '.join(valid_protocol)}")
+        self.channel_config()  # ChannelConfig re-validates values
+        try:
+            payload = bytes.fromhex(self.payload_hex)
+        except ValueError as exc:
+            raise ConfigError(
+                f"payload_hex must be an even-length hex string, "
+                f"got {self.payload_hex!r}") from exc
+        if not payload:
+            raise ConfigError("payload_hex must encode at least one byte")
+        if self.faults:
+            parse_fault_spec(self.faults)  # raises with the valid models
+        if not self.tenants:
+            raise ConfigError(
+                f"scenario {self.name!r} needs at least one tenant")
+        self._validate_topology(config)
+
+    def _validate_topology(self, config: ProcessorConfig) -> None:
+        """Check tenant/background placement against the processor."""
+        occupied: Dict[Tuple[int, int], str] = {}
+        for index, tenant in enumerate(self.tenants):
+            label = f"tenant {index} ({tenant.channel})"
+            if tenant.channel == "smt" and not config.supports_smt:
+                raise ConfigError(
+                    f"{label} needs SMT, but preset {self.preset!r} has "
+                    f"smt_per_core=1; use an SMT part such as "
+                    f"'cannon_lake' or 'skylake_sp'")
+            for core in (tenant.sender_core, tenant.receiver_core):
+                if core >= config.n_cores:
+                    raise ConfigError(
+                        f"{label} is pinned to core {core}, but the "
+                        f"scenario's processor has only {config.n_cores} "
+                        f"cores (0..{config.n_cores - 1})")
+            self._claim(occupied, tenant.hardware_threads(), label)
+        for index, workload in enumerate(self.background):
+            label = f"background {index} ({workload.kind})"
+            if workload.core >= config.n_cores:
+                raise ConfigError(
+                    f"{label} is pinned to core {workload.core}, but the "
+                    f"scenario's processor has only {config.n_cores} "
+                    f"cores (0..{config.n_cores - 1})")
+            if workload.smt_slot >= config.smt_per_core:
+                raise ConfigError(
+                    f"{label} uses smt_slot {workload.smt_slot}, but "
+                    f"preset {self.preset!r} has "
+                    f"smt_per_core={config.smt_per_core}")
+            self._claim(occupied,
+                        ((workload.core, workload.smt_slot),), label)
+
+    @staticmethod
+    def _claim(occupied: Dict[Tuple[int, int], str],
+               threads: Tuple[Tuple[int, int], ...], label: str) -> None:
+        """Claim hardware threads, rejecting double occupancy."""
+        for thread in threads:
+            holder = occupied.get(thread)
+            if holder is not None:
+                core, slot = thread
+                raise ConfigError(
+                    f"{label} collides with {holder} on core {core} "
+                    f"smt_slot {slot}; every party needs its own "
+                    f"hardware thread")
+            occupied[thread] = label
+
+    # -- mapping round-trip ---------------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "ScenarioSpec":
+        """Build a validated spec from a plain (TOML/JSON-shaped) dict.
+
+        Unknown keys anywhere in the mapping raise
+        :class:`~repro.errors.ConfigError` listing the valid fields.
+        """
+        _require_keys(mapping, _SPEC_KEYS, "scenario")
+        for required in ("name", "description"):
+            if required not in mapping:
+                raise ConfigError(
+                    f"a scenario mapping needs a {required!r} field")
+        noise_mapping = mapping.get("noise")
+        return cls(
+            name=str(mapping["name"]),
+            description=str(mapping["description"]),
+            preset=str(mapping.get("preset", "cannon_lake")),
+            overrides=tuple(sorted(
+                (str(k), v)
+                for k, v in dict(mapping.get("overrides", {})).items())),
+            options=OptionsSpec.from_mapping(mapping.get("options", {})),
+            pmu=PMUSpec.from_mapping(mapping.get("pmu", {})),
+            protocol=tuple(sorted(
+                (str(k), v)
+                for k, v in dict(mapping.get("protocol", {})).items())),
+            tenants=tuple(TenantSpec.from_mapping(t)
+                          for t in mapping.get("tenants", ())),
+            noise=(None if noise_mapping is None
+                   else NoiseSpec.from_mapping(noise_mapping)),
+            faults=str(mapping.get("faults", "")),
+            background=tuple(WorkloadSpec.from_mapping(w)
+                             for w in mapping.get("background", ())),
+            payload_hex=str(mapping.get("payload_hex", "4943")),
+            seed=int(mapping.get("seed", 2021)),
+        )
+
+    def to_mapping(self) -> Dict[str, Any]:
+        """The canonical plain-dict form of this spec.
+
+        Every field is explicit (defaults included), keys are sorted
+        inside the override/protocol sub-dicts, and all values are
+        plain JSON types — so ``to_mapping`` output is stable input for
+        digests, goldens, docs generation and ``from_mapping``.
+        """
+        return {
+            "name": self.name,
+            "description": self.description,
+            "preset": self.preset,
+            "overrides": dict(self.overrides),
+            "options": self.options.to_mapping(),
+            "pmu": self.pmu.to_mapping(),
+            "protocol": dict(self.protocol),
+            "tenants": [t.to_mapping() for t in self.tenants],
+            "noise": None if self.noise is None else self.noise.to_mapping(),
+            "faults": self.faults,
+            "background": [w.to_mapping() for w in self.background],
+            "payload_hex": self.payload_hex,
+            "seed": self.seed,
+        }
+
+    # -- materialisation helpers ---------------------------------------------
+
+    def processor_config(self) -> ProcessorConfig:
+        """The processor this scenario runs on (preset + overrides)."""
+        return preset(self.preset).with_overrides(**dict(self.overrides))
+
+    def system_options(self) -> SystemOptions:
+        """The ``SystemOptions`` this scenario's system is built with.
+
+        The kernel mode is deliberately left at its environment-driven
+        default so scenarios stay bit-identical under both
+        ``REPRO_KERNEL`` settings.
+        """
+        return SystemOptions(
+            per_core_vr=self.options.per_core_vr,
+            ldo_rails=self.options.ldo_rails,
+            improved_throttling=self.options.improved_throttling,
+            secure_mode=self.options.secure_mode,
+            pmu_queue_depth=self.pmu.queue_depth,
+            pmu_grant_policy=self.pmu.grant_policy,
+        )
+
+    def channel_config(self) -> ChannelConfig:
+        """The protocol configuration every tenant's channel uses."""
+        return ChannelConfig(**dict(self.protocol))
+
+    @property
+    def payload(self) -> bytes:
+        """The transferred payload as bytes."""
+        return bytes.fromhex(self.payload_hex)

@@ -21,6 +21,11 @@ registry, plus the built-in tasks every deployment serves:
     The full golden-gated Figure 13 scenario reduced to its content
     digest — submitting this over HTTP and comparing against the
     committed golden proves the service path end to end.
+``scenario_run``
+    One named scenario from the declarative library
+    (:mod:`repro.scenarios`) run end to end; returns the scenario
+    name, per-tenant BERs, aggregate goodput, and the content digest
+    of the full run document.
 
 Task functions must be module-level and their kwargs picklable, exactly
 the :class:`~repro.runner.SweepRunner` contract, because workers may
@@ -117,7 +122,30 @@ def fig13_digest() -> str:
     return compute_digest("fig13_slice")
 
 
+def scenario_run(name: str = "baseline_thread") -> Dict[str, Any]:
+    """One named declarative scenario, run end to end, JSON-ready.
+
+    ``name`` is any scenario from ``python -m repro.scenarios list``.
+    Returns per-tenant BERs, the aggregate goodput, and the content
+    digest of the full run document, so an HTTP client can compare the
+    service path against an inline ``run_document`` call bit for bit.
+    """
+    from repro.scenarios.run import run_scenario
+    from repro.verify.digest import content_digest
+
+    run = run_scenario(name)
+    return {
+        "scenario": name,
+        "tenants": len(run.tenants),
+        "per_tenant_ber": [float(t.ber) for t in run.tenants],
+        "mean_ber": float(run.mean_ber),
+        "aggregate_goodput_bps": float(run.aggregate_goodput_bps),
+        "digest": content_digest(run.document()),
+    }
+
+
 register_task("noop", noop)
 register_task("square", square)
 register_task("demo_ber", demo_ber)
 register_task("fig13_digest", fig13_digest)
+register_task("scenario_run", scenario_run)

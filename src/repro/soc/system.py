@@ -76,6 +76,13 @@ class SystemOptions:
     secure_mode:
         Pin guardbands at the worst case; no transitions, no throttling
         (Section 7 'A New Secure Mode of Operation').
+    pmu_queue_depth:
+        Bound on the central PMU's per-rail transition queue; 0 keeps
+        the paper's unbounded mailbox (see
+        :class:`repro.pmu.central.PMUConfig`).
+    pmu_grant_policy:
+        ``"serialized"`` (the paper's behaviour) or ``"coalesced"``
+        (batch all queued up-requests into one transition).
     disable_throttling:
         ABLATION ONLY: let PHIs run at full rate without waiting for
         their guardband.  The droop model then reports the voltage
@@ -97,6 +104,8 @@ class SystemOptions:
     improved_throttling: bool = False
     secure_mode: bool = False
     disable_throttling: bool = False
+    pmu_queue_depth: int = 0
+    pmu_grant_policy: str = "serialized"
     kernel: str = field(
         default_factory=lambda: os.environ.get("REPRO_KERNEL", "auto")
     )
@@ -285,6 +294,8 @@ class System:
             config=PMUConfig(
                 pll_relock_ns=config.pll_relock_ns,
                 secure_mode=options.secure_mode,
+                queue_depth=options.pmu_queue_depth,
+                grant_policy=options.pmu_grant_policy,
             ),
         )
         self.pmu.on_state_change = self._on_pmu_state_change

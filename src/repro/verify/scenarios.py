@@ -13,7 +13,12 @@ Section-5 behaviours are all covered:
   parts, plus power-gate wake deltas;
 * ``fig13_slice`` — receiver TP level clusters and decode thresholds;
 * ``resilience_slice`` — the fault-injection resilience sweep at
-  nominal intensity across all three mitigation stacks.
+  nominal intensity across all three mitigation stacks;
+* ``scenario_baseline_cores`` / ``scenario_trace_replay`` /
+  ``scenario_interference_2pair`` — declarative-library scenarios
+  (:mod:`repro.scenarios`) pinned as full run documents, covering the
+  single-pair baseline, trace-driven background replay, and the
+  multi-tenant shared-PMU topology.
 
 Scenarios marked ``supports_runner`` accept a
 :class:`~repro.runner.SweepRunner`, which the determinism auditor uses
@@ -156,6 +161,27 @@ def resilience_slice(runner: Optional[SweepRunner] = None) -> Dict[str, Any]:
     }
 
 
+def scenario_baseline_cores() -> Dict[str, Any]:
+    """The declarative ``baseline_cores`` scenario's full run document."""
+    from repro.scenarios.run import run_document
+
+    return run_document("baseline_cores")
+
+
+def scenario_trace_replay() -> Dict[str, Any]:
+    """The declarative ``trace_replay`` scenario's full run document."""
+    from repro.scenarios.run import run_document
+
+    return run_document("trace_replay")
+
+
+def scenario_interference_2pair() -> Dict[str, Any]:
+    """The declarative two-tenant interference scenario's run document."""
+    from repro.scenarios.run import run_document
+
+    return run_document("interference_2pair")
+
+
 @dataclass(frozen=True)
 class Scenario:
     """One canonical scenario of the golden-trace harness.
@@ -193,6 +219,13 @@ SCENARIOS: Tuple[Scenario, ...] = (
              "receiver TP level clusters and thresholds (Figure 13)"),
     Scenario("resilience_slice", resilience_slice, True,
              "fault-injection resilience sweep at nominal intensity"),
+    Scenario("scenario_baseline_cores", scenario_baseline_cores, False,
+             "declarative library: single cross-core pair baseline"),
+    Scenario("scenario_trace_replay", scenario_trace_replay, False,
+             "declarative library: cross-core pair beside trace replay"),
+    Scenario("scenario_interference_2pair", scenario_interference_2pair,
+             False,
+             "declarative library: two tenant pairs sharing one PMU"),
 )
 
 

@@ -1,0 +1,138 @@
+"""Central PMU queue-depth bound and grant-policy knobs."""
+
+import pytest
+
+from repro import System, SystemOptions, cannon_lake_i3_8121u
+from repro.errors import ConfigError
+from repro.isa import IClass
+from repro.pdn import GuardbandModel, LoadLine, VoltageRegulator
+from repro.pmu import CentralPMU, LimitPolicy, PMUConfig
+from repro.pmu.central import GRANT_POLICIES
+from repro.pmu.dvfs import pstate_ladder
+from repro.soc.config import coffee_lake_i7_9700k
+from repro.soc.engine import Engine
+
+
+def build_pmu(n_cores=4, freq=2.2, pmu_config=PMUConfig()):
+    config = coffee_lake_i7_9700k()
+    engine = Engine()
+    curve = config.vf_curve()
+    guardband = GuardbandModel(LoadLine(config.r_ll_mohm / 1000.0))
+    limits = LimitPolicy(curve, guardband, config.vcc_max, config.icc_max)
+    ladder = pstate_ladder(curve, config.min_freq_ghz, config.max_turbo_ghz)
+    spec = config.vr_spec()
+    v0 = spec.quantize_vid(curve.vcc_for(freq))
+    rails = [VoltageRegulator(spec, v0, name="vr")]
+    pmu = CentralPMU(engine, rails, [0] * n_cores, guardband, curve, limits,
+                     ladder, config.license_table(), requested_freq_ghz=freq,
+                     config=pmu_config)
+    return engine, pmu
+
+
+class TestConfigValidation:
+    def test_negative_queue_depth_rejected(self):
+        with pytest.raises(ConfigError, match="queue_depth"):
+            PMUConfig(queue_depth=-1)
+
+    def test_unknown_grant_policy_rejected(self):
+        with pytest.raises(ConfigError, match="grant_policy"):
+            PMUConfig(grant_policy="fifo")
+
+    def test_policy_constants_are_valid(self):
+        for policy in GRANT_POLICIES:
+            assert PMUConfig(grant_policy=policy).grant_policy == policy
+
+
+class TestBoundedQueue:
+    def test_every_contender_is_granted(self):
+        # Depth 1: three of the four requests land while the rail is
+        # busy and must share the single queued entry — yet nobody's
+        # grant may be lost, or a throttled core would wait forever.
+        engine, pmu = build_pmu(pmu_config=PMUConfig(queue_depth=1))
+        for core in range(4):
+            assert pmu.request_up(core, IClass.HEAVY_256)
+        engine.run()
+        assert pmu.granted == [IClass.HEAVY_256] * 4
+        assert not pmu.throttled_cores()
+
+    def test_full_queue_coalesces_instead_of_growing(self):
+        engine, pmu = build_pmu(pmu_config=PMUConfig(queue_depth=1))
+        for core in range(4):
+            pmu.request_up(core, IClass.HEAVY_256)
+        # One entry in flight, at most one queued: the late requests
+        # merged instead of appending.
+        assert len(pmu._queues[0]) <= 1
+
+    def test_merge_keeps_highest_level_per_core(self):
+        engine, pmu = build_pmu(pmu_config=PMUConfig(queue_depth=1))
+        pmu.request_up(0, IClass.HEAVY_256)   # goes in flight
+        pmu.request_up(1, IClass.LIGHT_256)   # queues
+        pmu.request_up(1, IClass.HEAVY_512)   # merges, higher level wins
+        engine.run()
+        assert pmu.granted[1] == IClass.HEAVY_512
+
+    def test_shallow_queue_issues_fewer_transitions(self):
+        def run(depth):
+            engine, pmu = build_pmu(pmu_config=PMUConfig(queue_depth=depth))
+            for core in range(4):
+                pmu.request_up(core, IClass.HEAVY_256)
+            engine.run()
+            assert pmu.granted == [IClass.HEAVY_256] * 4
+            return pmu.transitions_issued[0]
+
+        assert run(1) < run(0)
+
+
+class TestCoalescedPolicy:
+    def test_batches_queued_up_requests(self):
+        engine, pmu = build_pmu(
+            pmu_config=PMUConfig(grant_policy="coalesced"))
+        for core in range(4):
+            pmu.request_up(core, IClass.HEAVY_256)
+        engine.run()
+        assert pmu.granted == [IClass.HEAVY_256] * 4
+        assert not pmu.throttled_cores()
+
+    def test_fewer_transitions_than_serialized(self):
+        def run(policy):
+            engine, pmu = build_pmu(
+                pmu_config=PMUConfig(grant_policy=policy))
+            for core in range(4):
+                pmu.request_up(core, IClass.HEAVY_256)
+            engine.run()
+            return pmu.transitions_issued[0]
+
+        assert run("coalesced") < run("serialized")
+
+    def test_down_requests_survive_coalescing(self):
+        engine, pmu = build_pmu(
+            pmu_config=PMUConfig(grant_policy="coalesced"))
+        pmu.request_up(0, IClass.HEAVY_256)
+        engine.run()
+        pmu.request_up(1, IClass.HEAVY_512)     # in flight
+        pmu.request_down(0, IClass.SCALAR_64)   # queued behind it
+        pmu.request_up(2, IClass.HEAVY_256)     # absorbed into the batch
+        engine.run()
+        assert pmu.granted[0] == IClass.SCALAR_64
+        assert pmu.granted[1] == IClass.HEAVY_512
+        assert pmu.granted[2] == IClass.HEAVY_256
+
+
+class TestSystemOptionsThreading:
+    def test_knobs_reach_the_pmu(self):
+        system = System(
+            cannon_lake_i3_8121u(),
+            options=SystemOptions(pmu_queue_depth=2,
+                                  pmu_grant_policy="coalesced"))
+        assert system.pmu.config.queue_depth == 2
+        assert system.pmu.config.grant_policy == "coalesced"
+
+    def test_defaults_are_the_paper_behaviour(self):
+        system = System(cannon_lake_i3_8121u())
+        assert system.pmu.config.queue_depth == 0
+        assert system.pmu.config.grant_policy == "serialized"
+
+    def test_bad_policy_rejected_at_system_construction(self):
+        with pytest.raises(ConfigError, match="grant_policy"):
+            System(cannon_lake_i3_8121u(),
+                   options=SystemOptions(pmu_grant_policy="random"))

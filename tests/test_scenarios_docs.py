@@ -1,0 +1,111 @@
+"""Regenerate-and-diff gate for the self-documenting scenario reference."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.scenarios import scenario_names
+from repro.scenarios.docsgen import (
+    BEGIN_MARK,
+    DEFAULT_DOCS_PATH,
+    END_MARK,
+    check_docs,
+    registry_markdown,
+    render_docs,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_FILE = REPO_ROOT / DEFAULT_DOCS_PATH
+
+
+@pytest.fixture()
+def committed_text():
+    """The docs/SCENARIOS.md text as committed to the repository."""
+    return DOCS_FILE.read_text(encoding="utf-8")
+
+
+class TestCommittedFile:
+    def test_reference_matches_the_registry(self, committed_text):
+        # The regenerate-and-diff gate: a registry edit without a docs
+        # regeneration fails here (and in the CI docs job).
+        assert check_docs(committed_text) == []
+
+    def test_render_is_idempotent(self, committed_text):
+        once = render_docs(committed_text)
+        assert render_docs(once) == once
+
+    def test_hand_written_prose_survives_regeneration(self, committed_text):
+        regenerated = render_docs(committed_text)
+        head = committed_text[:committed_text.find(BEGIN_MARK)]
+        tail = committed_text[committed_text.find(END_MARK):]
+        assert regenerated.startswith(head)
+        assert regenerated.endswith(tail)
+
+
+class TestGeneratedBlock:
+    def test_every_scenario_has_an_entry(self):
+        block = registry_markdown()
+        for name in scenario_names():
+            assert f"### `{name}`" in block
+            assert f"python -m repro --scenario {name}" in block
+
+    def test_block_states_its_own_provenance(self):
+        assert "This block is generated" in registry_markdown()
+
+
+class TestDriftDetection:
+    def test_perturbed_block_is_reported(self, committed_text):
+        drifted = committed_text.replace(
+            "### `baseline_thread`", "### `baseline_thread_v2`")
+        report = check_docs(drifted)
+        assert report
+        assert any("baseline_thread" in line for line in report)
+
+    def test_stale_entry_count_is_reported(self, committed_text):
+        begin = committed_text.find(BEGIN_MARK) + len(BEGIN_MARK)
+        end = committed_text.find(END_MARK)
+        drifted = (committed_text[:begin]
+                   + "\n\nstale hand-edited content\n\n"
+                   + committed_text[end:])
+        assert check_docs(drifted)
+
+    def test_missing_markers_raise_config_error(self):
+        with pytest.raises(ConfigError, match="markers"):
+            render_docs("# no generated block here\n")
+        with pytest.raises(ConfigError, match="in order"):
+            render_docs(f"{END_MARK}\n{BEGIN_MARK}\n")
+
+
+class TestDocsCommand:
+    def test_check_mode_passes_on_committed_file(self, capsys):
+        from repro.scenarios.__main__ import main
+        assert main(["docs", "--check", "--path", str(DOCS_FILE)]) == 0
+        assert "up to date" in capsys.readouterr().out
+
+    def test_check_mode_fails_on_drifted_copy(self, tmp_path, capsys):
+        from repro.scenarios.__main__ import main
+        drifted = tmp_path / "SCENARIOS.md"
+        drifted.write_text(
+            DOCS_FILE.read_text(encoding="utf-8").replace(
+                "### `baseline_thread`", "### `renamed`"),
+            encoding="utf-8")
+        assert main(["docs", "--check", "--path", str(drifted)]) == 1
+        assert "drifted" in capsys.readouterr().err
+
+    def test_write_mode_repairs_a_drifted_copy(self, tmp_path, capsys):
+        from repro.scenarios.__main__ import main
+        drifted = tmp_path / "SCENARIOS.md"
+        drifted.write_text(
+            f"# Scenarios\n\nprose stays.\n\n{BEGIN_MARK}\nstale\n{END_MARK}\n",
+            encoding="utf-8")
+        assert main(["docs", "--path", str(drifted)]) == 0
+        repaired = drifted.read_text(encoding="utf-8")
+        assert check_docs(repaired) == []
+        assert repaired.startswith("# Scenarios\n\nprose stays.")
+        capsys.readouterr()
+
+    def test_missing_file_is_a_usage_error(self, tmp_path, capsys):
+        from repro.scenarios.__main__ import main
+        assert main(["docs", "--path", str(tmp_path / "nope.md")]) == 2
+        assert "cannot read" in capsys.readouterr().err

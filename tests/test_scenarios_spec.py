@@ -1,0 +1,250 @@
+"""Scenario grammar: validation, actionable errors, mapping round-trips."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, ProtocolError
+from repro.scenarios import (
+    NoiseSpec,
+    OptionsSpec,
+    PMUSpec,
+    ScenarioSpec,
+    TenantSpec,
+    WorkloadSpec,
+)
+from repro.isa.workload import sevenzip_like_trace
+
+# -- strategies --------------------------------------------------------------
+
+pmu_specs = st.builds(
+    PMUSpec,
+    queue_depth=st.integers(min_value=0, max_value=4),
+    grant_policy=st.sampled_from(("serialized", "coalesced")),
+)
+
+options_specs = st.builds(
+    OptionsSpec,
+    per_core_vr=st.booleans(),
+    improved_throttling=st.booleans(),
+    secure_mode=st.booleans(),
+)
+
+noise_specs = st.builds(
+    NoiseSpec,
+    interrupt_rate_per_s=st.floats(min_value=1.0, max_value=5000.0),
+    interrupt_mean_us=st.floats(min_value=0.5, max_value=20.0),
+    horizon_ms=st.floats(min_value=1.0, max_value=100.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+
+workload_specs = st.one_of(
+    st.builds(
+        WorkloadSpec,
+        kind=st.sampled_from(("browser", "sevenzip", "ml_inference")),
+        core=st.integers(min_value=2, max_value=5),
+        duration_ms=st.floats(min_value=1.0, max_value=50.0),
+        seed=st.integers(min_value=0, max_value=999),
+    ),
+    st.builds(
+        WorkloadSpec,
+        kind=st.just("replay"),
+        core=st.integers(min_value=2, max_value=5),
+        phases=st.lists(
+            st.tuples(st.sampled_from(("SCALAR_64", "HEAVY_256")),
+                      st.floats(min_value=100.0, max_value=1e6)),
+            min_size=1, max_size=4).map(tuple),
+    ),
+)
+
+
+@st.composite
+def scenario_specs(draw):
+    """Valid scenarios on coffee_lake: disjoint pairs + optional extras."""
+    n_pairs = draw(st.integers(min_value=1, max_value=2))
+    tenants = tuple(
+        TenantSpec("cores", 2 * i, 2 * i + 1,
+                   offset_fraction=draw(st.floats(min_value=0.0,
+                                                  max_value=0.99)))
+        for i in range(n_pairs))
+    background = draw(st.one_of(st.just(()),
+                                st.tuples(workload_specs)))
+    # Background cores 2..5 stay on-die even under the n_cores=6
+    # override; pair 1 uses cores 2/3 — drop colliding workloads.
+    taken = {t for tenant in tenants for t in tenant.hardware_threads()}
+    background = tuple(w for w in background
+                      if (w.core, w.smt_slot) not in taken)
+    return ScenarioSpec(
+        name=draw(st.sampled_from(("prop_a", "prop_b", "prop_c"))),
+        description="property-generated scenario",
+        preset="coffee_lake",
+        overrides=draw(st.one_of(
+            st.just(()),
+            st.just((("vid_step_mv", 10.0),)),
+            st.just((("n_cores", 6), ("reset_time_us", 500.0))))),
+        options=draw(options_specs),
+        pmu=draw(pmu_specs),
+        protocol=draw(st.one_of(
+            st.just(()),
+            st.just((("training_rounds", 1),)),
+            st.just((("slot_us", 900.0), ("training_rounds", 2))))),
+        tenants=tenants,
+        noise=draw(st.one_of(st.none(), noise_specs)),
+        background=background,
+        payload_hex=draw(st.sampled_from(("43", "4943", "deadbeef"))),
+        seed=draw(st.integers(min_value=0, max_value=2**31)),
+    )
+
+
+# -- round-trips -------------------------------------------------------------
+
+class TestRoundTrips:
+    @settings(max_examples=60, deadline=None)
+    @given(spec=scenario_specs())
+    def test_mapping_round_trip_is_identity(self, spec):
+        assert ScenarioSpec.from_mapping(spec.to_mapping()) == spec
+
+    @settings(max_examples=60, deadline=None)
+    @given(spec=scenario_specs())
+    def test_round_trip_survives_json(self, spec):
+        wire = json.loads(json.dumps(spec.to_mapping()))
+        assert ScenarioSpec.from_mapping(wire) == spec
+
+    @settings(max_examples=60, deadline=None)
+    @given(spec=scenario_specs())
+    def test_to_mapping_is_canonical(self, spec):
+        # from_mapping(to_mapping(s)).to_mapping() is a fixed point.
+        mapping = spec.to_mapping()
+        assert ScenarioSpec.from_mapping(mapping).to_mapping() == mapping
+
+    @settings(max_examples=40, deadline=None)
+    @given(pmu=pmu_specs, options=options_specs, noise=noise_specs)
+    def test_component_round_trips(self, pmu, options, noise):
+        assert PMUSpec.from_mapping(pmu.to_mapping()) == pmu
+        assert OptionsSpec.from_mapping(options.to_mapping()) == options
+        assert NoiseSpec.from_mapping(noise.to_mapping()) == noise
+
+    @settings(max_examples=40, deadline=None)
+    @given(workload=workload_specs)
+    def test_workload_round_trip(self, workload):
+        assert WorkloadSpec.from_mapping(workload.to_mapping()) == workload
+
+    def test_replay_captures_a_recorded_trace(self):
+        trace = sevenzip_like_trace(5.0, seed=7)
+        spec = WorkloadSpec.replay(trace, core=3)
+        rebuilt = spec.build_trace()
+        assert rebuilt.duration_ns == trace.duration_ns
+        assert [(p.iclass, p.duration_ns) for p in rebuilt] == \
+               [(p.iclass, p.duration_ns) for p in trace]
+
+
+# -- rejection: every error names the offending field and the fix ------------
+
+class TestRejection:
+    def test_unknown_top_level_field(self):
+        with pytest.raises(ConfigError, match="unknown scenario field"):
+            ScenarioSpec.from_mapping(
+                {"name": "x", "description": "d", "tenant": []})
+
+    def test_unknown_pmu_field(self):
+        with pytest.raises(ConfigError, match="valid fields"):
+            PMUSpec.from_mapping({"depth": 3})
+
+    def test_unknown_preset_lists_presets(self):
+        with pytest.raises(ConfigError, match="cannon_lake"):
+            ScenarioSpec(name="x", description="d", preset="alder_lake")
+
+    def test_override_outside_whitelist(self):
+        with pytest.raises(ConfigError, match="overridable fields"):
+            ScenarioSpec(name="x", description="d",
+                         overrides=(("turbo_ceilings", ()),))
+
+    def test_n_cores_above_preset_suggests_bigger_part(self):
+        with pytest.raises(ConfigError, match="skylake_sp"):
+            ScenarioSpec(name="x", description="d", preset="cannon_lake",
+                         overrides=(("n_cores", 16),))
+
+    def test_smt_tenant_on_no_smt_part(self):
+        with pytest.raises(ConfigError, match="smt_per_core=1"):
+            ScenarioSpec(name="x", description="d", preset="coffee_lake",
+                         tenants=(TenantSpec("smt", 0, 0),))
+
+    def test_tenant_pinned_off_die(self):
+        with pytest.raises(ConfigError, match="only 2 cores"):
+            ScenarioSpec(name="x", description="d", preset="cannon_lake",
+                         tenants=(TenantSpec("cores", 0, 5),))
+
+    def test_hardware_thread_collision_names_both_parties(self):
+        with pytest.raises(ConfigError, match="collides with tenant 0"):
+            ScenarioSpec(name="x", description="d", preset="coffee_lake",
+                         tenants=(TenantSpec("cores", 0, 1),
+                                  TenantSpec("cores", 1, 2)))
+
+    def test_background_collision_with_tenant(self):
+        with pytest.raises(ConfigError, match="collides"):
+            ScenarioSpec(name="x", description="d", preset="cannon_lake",
+                         tenants=(TenantSpec("cores", 0, 1),),
+                         background=(WorkloadSpec("browser", core=1,
+                                                  smt_slot=0),))
+
+    def test_cores_tenant_needs_distinct_cores(self):
+        with pytest.raises(ConfigError, match="distinct cores"):
+            TenantSpec("cores", 1, 1)
+
+    def test_thread_tenant_needs_one_core(self):
+        with pytest.raises(ConfigError, match="both parties on one"):
+            TenantSpec("thread", 0, 1)
+
+    def test_offset_fraction_range(self):
+        with pytest.raises(ConfigError, match="offset_fraction"):
+            TenantSpec("cores", 0, 1, offset_fraction=1.0)
+
+    def test_replay_without_phases(self):
+        with pytest.raises(ConfigError, match="phases"):
+            WorkloadSpec("replay")
+
+    def test_phases_on_synthetic_kind(self):
+        with pytest.raises(ConfigError, match="only valid for kind"):
+            WorkloadSpec("browser", phases=(("SCALAR_64", 100.0),))
+
+    def test_unknown_instruction_class_in_replay(self):
+        with pytest.raises(ConfigError, match="HEAVY_256"):
+            WorkloadSpec("replay", phases=(("AVX9000", 100.0),))
+
+    def test_bad_payload_hex(self):
+        with pytest.raises(ConfigError, match="payload_hex"):
+            ScenarioSpec(name="x", description="d", payload_hex="zz")
+
+    def test_empty_payload(self):
+        with pytest.raises(ConfigError, match="at least one byte"):
+            ScenarioSpec(name="x", description="d", payload_hex="")
+
+    def test_bad_fault_spec_fails_at_build_time(self):
+        with pytest.raises(ConfigError):
+            ScenarioSpec(name="x", description="d",
+                         faults="not-a-model:intensity=1")
+
+    def test_no_tenants(self):
+        with pytest.raises(ConfigError, match="at least one tenant"):
+            ScenarioSpec(name="x", description="d", tenants=())
+
+    def test_bad_protocol_field(self):
+        with pytest.raises(ConfigError, match="ChannelConfig"):
+            ScenarioSpec(name="x", description="d",
+                         protocol=(("slot_width_us", 750),))
+
+    def test_bad_protocol_value_propagates(self):
+        with pytest.raises(ProtocolError):
+            ScenarioSpec(name="x", description="d",
+                         protocol=(("slot_us", -5.0),))
+
+    def test_uppercase_name_rejected(self):
+        with pytest.raises(ConfigError, match="lowercase identifier"):
+            ScenarioSpec(name="Baseline", description="d")
+
+    def test_mapping_requires_name_and_description(self):
+        with pytest.raises(ConfigError, match="'name'"):
+            ScenarioSpec.from_mapping({"description": "d"})
+        with pytest.raises(ConfigError, match="'description'"):
+            ScenarioSpec.from_mapping({"name": "x"})
