@@ -1,0 +1,38 @@
+"""Mitigation matrix: the CI smoke corner must stay gate-cheap.
+
+The ``mitigation-matrix`` CI job runs the smoke grid (three protocol
+tiers on the cross-core channel against three defenders) plus the
+defender cost harness on every push, and the ``matrix_2x2`` golden
+re-runs a corner of it in fresh interpreters during the determinism
+audit.  This benchmark pins both pieces: the smoke sweep without costs
+(nine cells through the scenario/session machinery) and one defended
+cost measurement (two full victim-workload runs).  ``extra_info``
+records the verdict row the sweep produced so the gate artifact shows
+matrix health alongside the timing.
+"""
+
+from repro.mitigations.matrix import defender_cost, smoke_matrix
+
+
+def test_bench_matrix_smoke(benchmark):
+    report = benchmark.pedantic(
+        lambda: smoke_matrix(include_costs=False), rounds=5, iterations=1)
+    assert len(report.cells) == 9
+    assert report.channels_defeated("secure_mode") == {"cores"}
+    assert report.adaptive_shortfalls() == []
+
+    benchmark.extra_info["cells"] = len(report.cells)
+    benchmark.extra_info["verdicts"] = {
+        f"{cell.attacker}x{cell.defender}": cell.verdict
+        for cell in report.cells}
+
+
+def test_bench_matrix_defender_cost(benchmark):
+    cost = benchmark.pedantic(
+        lambda: defender_cost("state_flush"), rounds=5, iterations=1)
+    assert cost.completion_ns >= cost.reference_ns
+
+    benchmark.extra_info["defender"] = "state_flush"
+    benchmark.extra_info["runtime_overhead"] = round(
+        cost.runtime_overhead, 4)
+    benchmark.extra_info["power_overhead"] = round(cost.power_overhead, 4)

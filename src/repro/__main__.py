@@ -10,8 +10,10 @@ process pool and ``--cache-dir PATH`` caches their results (see
 the adaptive session — together they demo the resilience story from
 docs/FAULTS.md.  ``--scenario NAME`` runs a named topology from the
 declarative scenario library instead (see docs/SCENARIOS.md and
-``python -m repro.scenarios list``).  For the full paper regeneration
-use ``python -m repro.analysis.report``.
+``python -m repro.scenarios list``).  ``--mitigation-matrix`` runs the
+attacker-vs-defender evaluation matrix (optionally exporting
+``--matrix-csv``/``--matrix-json``; see docs/MITIGATIONS.md).  For the
+full paper regeneration use ``python -m repro.analysis.report``.
 """
 
 from __future__ import annotations
@@ -64,6 +66,49 @@ def _demo_transfer(channel_name: str, message: bytes,
     return report.received, report.ber, report.throughput_bps
 
 
+def _cmd_mitigation_matrix(args: argparse.Namespace) -> int:
+    """Run the mitigation matrix and print/export its report.
+
+    Prints the markdown verdict grid, the per-defender cost lines and
+    the acceptance summaries (channels each paper recipe defeats,
+    adaptive-dominance shortfalls); writes CSV/JSON exports when asked.
+    Returns 1 when the adaptive tier fails to dominate plain ARQ —
+    the property the CI smoke job gates on.
+    """
+    from repro.mitigations.matrix import run_matrix, smoke_matrix
+
+    cache = ResultCache(root=args.cache_dir) if args.cache_dir else None
+    runner = SweepRunner(jobs=args.jobs, cache=cache)
+    if args.mitigation_matrix == "smoke":
+        report = smoke_matrix(runner=runner)
+    else:
+        report = run_matrix(runner=runner)
+    print(f"mitigation matrix: {len(report.attackers)} attackers x "
+          f"{len(report.defenders)} defenders "
+          f"({len(report.cells)} cells)\n")
+    print(report.markdown_table())
+    print("defender costs (victim workload):")
+    for cost in report.costs:
+        print(f"  {cost.defender:20s} runtime {cost.runtime_overhead:+7.2%}"
+              f"  power {cost.power_overhead:+7.2%}")
+    for defender in ("per_core_ldo", "improved_throttling", "secure_mode"):
+        if defender in report.defenders:
+            killed = ", ".join(sorted(report.channels_defeated(defender)))
+            print(f"{defender} defeats: {killed or 'nothing'}")
+    shortfalls = report.adaptive_shortfalls()
+    if shortfalls:
+        print("\nADAPTIVE SHORTFALLS (adaptive should dominate arq):")
+        for line in shortfalls:
+            print(f"  {line}")
+    if args.matrix_csv:
+        report.write_csv(args.matrix_csv)
+        print(f"\ncsv: {args.matrix_csv}")
+    if args.matrix_json:
+        report.write_json(args.matrix_json)
+        print(f"json: {args.matrix_json}")
+    return 1 if shortfalls else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the three channels end to end and print a one-line summary each."""
     parser = argparse.ArgumentParser(
@@ -97,15 +142,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="run a named scenario from the declarative library instead "
              "of the demo (see `python -m repro.scenarios list` and "
              "docs/SCENARIOS.md)")
+    parser.add_argument(
+        "--mitigation-matrix", nargs="?", const="full", default=None,
+        choices=("full", "smoke"), metavar="GRID",
+        help="run the attacker-vs-defender mitigation matrix instead of "
+             "the demo ('full' = 9x7, 'smoke' = the 3x3 CI corner; see "
+             "docs/MITIGATIONS.md)")
+    parser.add_argument(
+        "--matrix-csv", default=None, metavar="PATH",
+        help="with --mitigation-matrix, also write the cell table as CSV")
+    parser.add_argument(
+        "--matrix-json", default=None, metavar="PATH",
+        help="with --mitigation-matrix, also write the canonical report "
+             "document as JSON")
     args = parser.parse_args(list(argv) if argv is not None else [])
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.mitigation_matrix is not None:
+        return _cmd_mitigation_matrix(args)
+    if (args.matrix_csv or args.matrix_json):
+        parser.error("--matrix-csv/--matrix-json need --mitigation-matrix")
     if args.scenario is not None:
         from repro.scenarios.__main__ import _cmd_run
         try:
             return _cmd_run(args.scenario)
         except ConfigError as exc:
             parser.error(f"--scenario: {exc}")
-    if args.jobs < 1:
-        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.faults:
         try:
             injector = parse_fault_spec(args.faults)

@@ -27,6 +27,7 @@ from repro.faults.models import (
     ReceiverClockSkew,
     SampleDropout,
     SlotScheduleJitter,
+    StateFlush,
     ThermalDriftRamp,
 )
 from repro.faults.spec import (
@@ -45,6 +46,7 @@ __all__ = [
     "ReceiverClockSkew",
     "SampleDropout",
     "SlotScheduleJitter",
+    "StateFlush",
     "ThermalDriftRamp",
     "default_fault_suite",
     "fault_model_names",

@@ -11,12 +11,18 @@ model                seam
 ``thermal-drift``    the RC thermal model's ambient reference
 ``clock-skew``       the system TSC the receiver times probes with
 ``slot-jitter``      each party's view of the shared slot schedule
+``state-flush``      the central PMU's grant state, on a scheduling quantum
 ===================  =========================================================
 
 The first two corrupt *measurements* of the simulation; the middle two
-perturb slow *environment* state; the last two attack the channel's own
-*timing assumptions* and are the dominant BER contributors the adaptive
-session (:mod:`repro.core.session`) has to survive.
+perturb slow *environment* state; ``clock-skew`` and ``slot-jitter``
+attack the channel's own *timing assumptions* and are the dominant BER
+contributors the adaptive session (:mod:`repro.core.session`) has to
+survive.  ``state-flush`` is different in spirit: it models a *defence*
+(temporal partitioning of the current-management state, after the
+RISC-V prevention literature) with the fault machinery, because a
+defender that periodically perturbs PMU state is mechanically identical
+to an attacker-facing noise source.
 """
 
 from __future__ import annotations
@@ -331,3 +337,79 @@ class SlotScheduleJitter(FaultModel):
                 int(schedule.epoch_ns))
         return PerturbedSchedule.wrap(schedule, sigma_ns=sigma_ns,
                                       cap_ns=us_to_ns(self.cap_us), salt=salt)
+
+
+class StateFlush(FaultModel):
+    """Temporal partitioning: periodic worst-case state flushes.
+
+    Models the prevention approach from the RISC-V current-management
+    literature: on every scheduling quantum the OS (or firmware) flushes
+    the PMU's per-core current-management state by raising *every*
+    core's guardband to the part's worst-case PHI class, holding it for
+    ``hold_us``, then releasing it.  Each flush drags the shared rail
+    through a full transition cycle and throttles every waiting core,
+    so an attacker's carefully phased transitions are periodically
+    overwritten by defender-controlled ones — the covert timing signal
+    is partitioned into quanta the receiver cannot correlate across.
+
+    Unlike the other models this one is a *defender* recipe (the
+    ``state_flush`` row of the mitigation matrix); it is registered as
+    a fault because periodic PMU-state perturbation is mechanically a
+    noise source, but it is deliberately **not** part of the
+    ``default`` fault suite.
+
+    The flush cadence is deterministic (quantum boundaries, not Poisson
+    arrivals): real temporal partitioning is clock-driven, and a fixed
+    cadence is also the defender's best case, since the attacker cannot
+    hide between irregular gaps.
+    """
+
+    name = "state-flush"
+
+    def __init__(self, quantum_us: float = 900.0, hold_us: float = 60.0,
+                 horizon_ms: float = 5000.0,
+                 intensity: float = 1.0, seed: int = 0) -> None:
+        super().__init__(intensity, seed)
+        if quantum_us <= 0:
+            raise ConfigError(f"quantum must be positive, got {quantum_us}")
+        if hold_us <= 0:
+            raise ConfigError(f"hold time must be positive, got {hold_us}")
+        if horizon_ms <= 0:
+            raise ConfigError(f"horizon must be positive, got {horizon_ms}")
+        self.quantum_us = float(quantum_us)
+        self.hold_us = float(hold_us)
+        self.horizon_ms = float(horizon_ms)
+
+    def params(self) -> Dict[str, float]:
+        """Magnitude knobs (quantum, hold time, horizon)."""
+        return {"quantum_us": self.quantum_us, "hold_us": self.hold_us,
+                "horizon_ms": self.horizon_ms}
+
+    def _worst_class(self, system: "System") -> IClass:
+        """The heaviest PHI class the part executes (the flush level)."""
+        return max(c for c in IClass
+                   if c.width_bits <= system.config.max_vector_bits)
+
+    def _process(self, system: "System") -> Generator:
+        flush_class = self._worst_class(system)
+        cores = range(system.config.n_cores)
+        horizon = ms_to_ns(self.horizon_ms)
+        # Intensity shortens the quantum: twice the intensity flushes
+        # twice as often (the partitioning gets finer-grained).
+        quantum_ns = us_to_ns(self.quantum_us) / self.intensity
+        while system.now < horizon:
+            yield system.sleep(quantum_ns)
+            if system.now >= horizon:
+                break
+            for core in cores:
+                system.pmu.request_up(core, flush_class)
+            self.events += 1
+            yield system.sleep(us_to_ns(self.hold_us))
+            for core in cores:
+                system.pmu.request_down(core, IClass.SCALAR_64)
+
+    def attach(self, system: "System", injector: "FaultInjector") -> None:
+        """Spawn the quantum-boundary flush process (horizon-bounded)."""
+        if self.intensity <= 0:
+            return
+        system.spawn(self._process(system), name="fault_state_flush")

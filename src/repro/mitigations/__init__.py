@@ -10,7 +10,27 @@ plus evaluation tooling:
   IccSMTcovert dies, the same-thread and cross-core channels survive.
 * **Secure mode** — pin the worst-case guardband; no transitions, no
   throttling, all three channels die, at a 4-11 % power cost.
+
+The :mod:`~repro.mitigations.matrix` subpackage widens this into a
+standing attacker-vs-defender evaluation matrix: the three paper
+recipes plus three prevention-literature defenders (noise injection,
+turbo-license limiting, temporal-partitioning state flush), crossed
+with three attacker protocol tiers per channel family, with residual
+BER/capacity verdicts and per-defender runtime/power cost.  Run it
+with ``python -m repro --mitigation-matrix``.
 """
+
+from repro.mitigations.matrix import (
+    ATTACKERS,
+    Attacker,
+    DEFENDERS,
+    Defender,
+    DefenderCost,
+    MatrixCell,
+    MitigationMatrixReport,
+    run_matrix,
+    smoke_matrix,
+)
 
 from repro.mitigations.recipes import (
     Mitigation,
@@ -28,9 +48,18 @@ from repro.mitigations.report import (
 )
 
 __all__ = [
+    "ATTACKERS",
+    "Attacker",
+    "DEFENDERS",
+    "Defender",
+    "DefenderCost",
     "DetectionReport",
+    "MatrixCell",
+    "MitigationMatrixReport",
     "ThrottleAnomalyDetector",
     "Mitigation",
+    "run_matrix",
+    "smoke_matrix",
     "improved_throttling_options",
     "options_for",
     "per_core_vr_options",

@@ -1,0 +1,53 @@
+"""Attacker-vs-defender evaluation matrix.
+
+The paper's Section 7 names three defence recipes and reports each as
+simply "defeating" the channels; this package turns that single data
+point into a standing evaluation surface.  A **defender registry**
+(:mod:`~repro.mitigations.matrix.defenders`) carries the paper's three
+recipes plus three prevention-literature recipes (noise injection,
+turbo-license limiting, temporal-partitioning state flush), and an
+**attacker registry** (:mod:`~repro.mitigations.matrix.attackers`)
+carries three protocol tiers (plain one-shot, Hamming-protected ARQ,
+and the adaptive session) against each of the three channel families.
+The cross product — 9 attackers x 7 defenders — runs every cell
+through the scenario layer and reports residual BER, residual capacity
+in bits per second, the cell verdict (``open``/``degraded``/
+``defeated``), and the defender's own runtime/power cost
+(:mod:`~repro.mitigations.matrix.cost`).
+
+Entry points:
+
+* :func:`~repro.mitigations.matrix.sweep.run_matrix` — the sweep,
+  optionally fanned out over a :class:`~repro.runner.SweepRunner`;
+* ``python -m repro --mitigation-matrix`` — the CLI front end with
+  CSV/JSON export;
+* the ``matrix_2x2`` verify scenario — a golden-digested 2x2 corner
+  of the matrix keeping CI honest about drift.
+
+See docs/MITIGATIONS.md for the worked tour and EXPERIMENTS.md for
+headline numbers.
+"""
+
+from repro.mitigations.matrix.attackers import ATTACKERS, Attacker, attacker_names
+from repro.mitigations.matrix.cells import MatrixCell, cell_spec, run_cell
+from repro.mitigations.matrix.cost import DefenderCost, defender_cost
+from repro.mitigations.matrix.defenders import DEFENDERS, Defender, defender_names
+from repro.mitigations.matrix.report import MitigationMatrixReport
+from repro.mitigations.matrix.sweep import run_matrix, smoke_matrix
+
+__all__ = [
+    "ATTACKERS",
+    "Attacker",
+    "DEFENDERS",
+    "Defender",
+    "DefenderCost",
+    "MatrixCell",
+    "MitigationMatrixReport",
+    "attacker_names",
+    "cell_spec",
+    "defender_cost",
+    "defender_names",
+    "run_cell",
+    "run_matrix",
+    "smoke_matrix",
+]

@@ -1,0 +1,112 @@
+"""The attacker registry of the mitigation matrix.
+
+Nine attackers: three protocol tiers crossed with the three channel
+families of the paper.
+
+Protocol tiers (escalating sophistication, mirroring the repo's own
+protocol stack):
+
+* ``plain`` — the one-shot scenario transfer: calibrate once, send the
+  payload once, no error protection.  Residual BER is the raw channel
+  BER.
+* ``arq`` — a :class:`~repro.core.session.CovertSession` with
+  Hamming(7,4) FEC and retransmission on CRC failure: robust but pays
+  a fixed 1/2-rate overhead in every cell.
+* ``adaptive`` — the PR-3 adaptive session: no standing FEC, but BER
+  tracking, re-calibration, exponential backoff and degraded-mode
+  fallback.  Twice the clean-cell capacity of ``arq``; degrades
+  instead of dying under defender pressure.
+
+Channel families: ``thread`` (IccThreadCovert), ``smt``
+(IccSMTcovert), ``cores`` (IccCoresCovert), each riding its registered
+``baseline_*`` scenario topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.session import AdaptiveConfig, FecScheme, SessionConfig
+from repro.errors import ConfigError
+from repro.scenarios.spec import CHANNEL_KINDS
+
+#: The protocol tiers, in escalation order.
+PROTOCOLS: Tuple[str, ...] = ("plain", "arq", "adaptive")
+
+_PROTOCOL_BLURBS: Dict[str, str] = {
+    "plain": "one-shot transfer, no error protection",
+    "arq": "Hamming(7,4) FEC session with retransmission",
+    "adaptive": "adaptive session: recalibration, backoff, degradation",
+}
+
+_CHANNEL_BLURBS: Dict[str, str] = {
+    "thread": "IccThreadCovert (time-sliced single thread)",
+    "smt": "IccSMTcovert (SMT siblings, throttling observable)",
+    "cores": "IccCoresCovert (shared rail across physical cores)",
+}
+
+
+@dataclass(frozen=True)
+class Attacker:
+    """One attacker: a protocol tier on one channel family."""
+
+    name: str
+    protocol: str
+    channel: str
+    description: str
+
+
+def _build_registry() -> Dict[str, Attacker]:
+    """All nine attackers, protocol-major (plain tier first)."""
+    registry: Dict[str, Attacker] = {}
+    for protocol in PROTOCOLS:
+        for channel in CHANNEL_KINDS:
+            name = f"{protocol}_{channel}"
+            registry[name] = Attacker(
+                name=name, protocol=protocol, channel=channel,
+                description=(f"{_PROTOCOL_BLURBS[protocol]} over "
+                             f"{_CHANNEL_BLURBS[channel]}"))
+    return registry
+
+
+#: The registry: attacker name -> :class:`Attacker`, protocol-major.
+ATTACKERS: Dict[str, Attacker] = _build_registry()
+
+
+def attacker_names() -> List[str]:
+    """All attacker names, in registry order."""
+    return list(ATTACKERS)
+
+
+def get_attacker(name: str) -> Attacker:
+    """The attacker called ``name`` (ConfigError on a typo)."""
+    attacker = ATTACKERS.get(name)
+    if attacker is None:
+        raise ConfigError(
+            f"unknown attacker {name!r}; registered attackers: "
+            f"{', '.join(attacker_names())}")
+    return attacker
+
+
+def session_config(protocol: str) -> SessionConfig:
+    """The session configuration realising a non-plain protocol tier.
+
+    ``arq`` is the fixed-rate Hamming session; ``adaptive`` trades the
+    standing FEC for the adaptive machinery (tight backoff so defender
+    pressure costs time, not feasibility).  ``plain`` has no session —
+    asking for one is a ConfigError.
+    """
+    if protocol == "arq":
+        return SessionConfig(frame_bytes=8, fec=FecScheme.HAMMING,
+                             max_retries=4)
+    if protocol == "adaptive":
+        return SessionConfig(
+            frame_bytes=8, fec=FecScheme.NONE, max_retries=8,
+            adaptive=AdaptiveConfig(
+                ber_window=4, ber_bound=0.05, recalibration_budget=2,
+                backoff_base_us=400.0, backoff_max_us=6000.0,
+                degraded_fec=FecScheme.REPETITION3))
+    raise ConfigError(
+        f"protocol {protocol!r} has no session form; expected 'arq' "
+        f"or 'adaptive'")

@@ -1,0 +1,78 @@
+"""The matrix sweep: cross product of attackers and defenders.
+
+:func:`run_matrix` runs every (attacker, defender) cell —
+attacker-major, registry order, so results and goldens are stable —
+through :func:`~repro.mitigations.matrix.cells.run_cell`, optionally
+fanned out over a :class:`~repro.runner.SweepRunner` pool (the cell
+task is module-level and keyword-driven, so it pickles), then measures
+each defender's cost and assembles the
+:class:`~repro.mitigations.matrix.report.MitigationMatrixReport`.
+
+:func:`smoke_matrix` is the small fixed corner CI exercises on every
+push: all three protocol tiers on the cross-core channel against the
+undefended baseline, the secure mode, and the state-flush defender.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.mitigations.matrix.attackers import attacker_names, get_attacker
+from repro.mitigations.matrix.cells import cell_from_mapping, run_cell
+from repro.mitigations.matrix.cost import defender_cost
+from repro.mitigations.matrix.defenders import defender_names, get_defender
+from repro.mitigations.matrix.report import MitigationMatrixReport
+from repro.runner import SweepRunner
+
+#: The fixed smoke corner: every protocol tier on the cross-core
+#: channel, against no defence, the strongest paper recipe, and one
+#: literature recipe that degrades without killing.
+SMOKE_ATTACKERS: Tuple[str, ...] = ("plain_cores", "arq_cores",
+                                    "adaptive_cores")
+SMOKE_DEFENDERS: Tuple[str, ...] = ("none", "secure_mode", "state_flush")
+
+
+def run_matrix(attackers: Optional[Sequence[str]] = None,
+               defenders: Optional[Sequence[str]] = None,
+               runner: Optional[SweepRunner] = None,
+               include_costs: bool = True) -> MitigationMatrixReport:
+    """Run the attacker x defender cross product and report it.
+
+    ``attackers``/``defenders`` default to the full registries (9 x 7);
+    pass subsets to run a corner.  Unknown names raise ConfigError
+    before any cell runs.  ``runner`` fans the cells out over a worker
+    pool (and can attach a result cache); the default runs inline.
+    ``include_costs=False`` skips the per-defender cost harness — the
+    verify golden uses that to stay cheap.
+    """
+    chosen_attackers = tuple(attackers) if attackers else tuple(
+        attacker_names())
+    chosen_defenders = tuple(defenders) if defenders else tuple(
+        defender_names())
+    for name in chosen_attackers:
+        get_attacker(name)
+    for name in chosen_defenders:
+        get_defender(name)
+    if not chosen_attackers or not chosen_defenders:
+        raise ConfigError("the matrix needs at least one attacker and "
+                          "one defender")
+    tasks = [{"attacker": attacker, "defender": defender}
+             for attacker in chosen_attackers
+             for defender in chosen_defenders]
+    pool = runner if runner is not None else SweepRunner()
+    mappings = pool.map(run_cell, tasks)
+    cells = tuple(cell_from_mapping(m) for m in mappings)
+    costs = (tuple(defender_cost(name) for name in chosen_defenders)
+             if include_costs else ())
+    return MitigationMatrixReport(
+        cells=cells, costs=costs,
+        attackers=chosen_attackers, defenders=chosen_defenders)
+
+
+def smoke_matrix(runner: Optional[SweepRunner] = None,
+                 include_costs: bool = True) -> MitigationMatrixReport:
+    """The fixed 3x3 smoke corner CI runs on every push."""
+    return run_matrix(attackers=SMOKE_ATTACKERS,
+                      defenders=SMOKE_DEFENDERS,
+                      runner=runner, include_costs=include_costs)

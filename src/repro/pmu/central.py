@@ -68,12 +68,22 @@ class PMUConfig:
         transition to the collective worst-case level, shortening the
         shared throttle window at the cost of over-granting — the
         hypothetical firmware fix the interference scenarios probe.
+    turbo_license_limit:
+        Defender recipe of the mitigation matrix: clamp the package
+        frequency to the worst-case turbo-license ceiling (every core
+        assumed at the power-virus class) at all times.  Guardband
+        changes then never move the legal frequency, so the PLL-relock
+        throttling component of the covert signal disappears — but the
+        rail transitions (and their settle-time throttling) survive,
+        making this a deliberately *weak* defence with a permanent
+        frequency cost.
     """
 
     pll_relock_ns: float = 1_500.0
     secure_mode: bool = False
     queue_depth: int = 0
     grant_policy: str = "serialized"
+    turbo_license_limit: bool = False
 
     def __post_init__(self) -> None:
         if self.pll_relock_ns < 0:
@@ -352,9 +362,17 @@ class CentralPMU:
         ]
         if not active:
             active = [IClass.SCALAR_64]
+        if self.config.turbo_license_limit:
+            # License every core at the power-virus class regardless of
+            # what actually runs: the ceiling becomes grant-independent,
+            # so guardband traffic never triggers a frequency change.
+            license_classes: Sequence[IClass] = (
+                [IClass.HEAVY_512] * self.n_cores)
+        else:
+            license_classes = active
         ceiling = min(
             self.requested_freq_ghz,
-            self.licenses.package_ceiling(active),
+            self.licenses.package_ceiling(license_classes),
         )
         allowed = self.limits.max_allowed(ceiling, active, self.ladder).freq_ghz
         self._allowed_cache[key] = allowed

@@ -32,6 +32,7 @@ from repro.scenarios.run import (
     TenantResult,
     interference_sweep,
     interference_trial,
+    make_channel,
     run_document,
     run_scenario,
     scenario_document,
@@ -69,6 +70,7 @@ __all__ = [
     "interference_spec",
     "interference_sweep",
     "interference_trial",
+    "make_channel",
     "register",
     "registry_markdown",
     "render_docs",

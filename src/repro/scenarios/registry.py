@@ -252,3 +252,50 @@ register(interference_spec(
         "worst-case level — the hypothetical firmware fix that "
         "shortens the shared throttle window by over-granting."),
 ))
+
+# -- mitigation-matrix defenders ---------------------------------------------
+#
+# The non-paper defender recipes of the attacker/defender evaluation
+# matrix (repro.mitigations.matrix), registered here so the matrix, the
+# scenario CLI and docs/SCENARIOS.md all read one definition.  Each is
+# the cross-core channel (the hardest to defend) under one defender.
+
+register(ScenarioSpec(
+    name="matrix_noise_injection",
+    description=(
+        "The cross-core channel against defender-controlled noise "
+        "injection: scheduled grant-queue jamming plus slot-clock "
+        "jitter smear the TP level ladder without a standing "
+        "frequency cost (mitigation-matrix defender)."),
+    preset="cannon_lake",
+    tenants=(TenantSpec("cores", 0, 1),),
+    faults=("grant-interference:burst_rate_per_s=500,hold_us=150,seed=5;"
+            "slot-jitter:sigma_us=2.5,cap_us=12,seed=5"),
+))
+
+register(ScenarioSpec(
+    name="matrix_turbo_license",
+    description=(
+        "The cross-core channel at a 3.0 GHz turbo request against "
+        "turbo-license limiting: the package is clamped to the worst-"
+        "case license ceiling, so guardband traffic stops moving the "
+        "frequency (no PLL-relock throttling) while rail settles "
+        "still leak (mitigation-matrix defender)."),
+    preset="cannon_lake",
+    overrides=(("base_freq_ghz", 3.0),),
+    options=OptionsSpec(turbo_license_limit=True),
+    tenants=(TenantSpec("cores", 0, 1),),
+))
+
+register(ScenarioSpec(
+    name="matrix_state_flush",
+    description=(
+        "The cross-core channel against temporal partitioning: every "
+        "scheduling quantum the current-management state is flushed "
+        "to the power-virus worst case and released, overwriting the "
+        "attacker's phased transitions (RISC-V prevention-style "
+        "state flush; mitigation-matrix defender)."),
+    preset="cannon_lake",
+    tenants=(TenantSpec("cores", 0, 1),),
+    faults="state-flush:quantum_us=500,hold_us=80",
+))

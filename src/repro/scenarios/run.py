@@ -39,9 +39,16 @@ from repro.units import bits_per_second, ns_to_us
 _BITS_PER_SYMBOL = 2
 
 
-def _make_channel(system: System, tenant: TenantSpec,
-                  spec: ScenarioSpec) -> CovertChannel:
-    """Construct the tenant's channel on ``system``."""
+def make_channel(system: System, tenant: TenantSpec,
+                 spec: ScenarioSpec) -> CovertChannel:
+    """Construct ``tenant``'s channel on ``system``.
+
+    Maps the tenant's channel kind to the concrete primitive —
+    ``thread`` -> :class:`IccThreadCovert`, ``smt`` ->
+    :class:`IccSMTcovert`, ``cores`` -> :class:`IccCoresCovert` — on
+    the tenant's cores.  Shared by :func:`run_scenario` and the
+    mitigation matrix's session cells.
+    """
     config = spec.channel_config()
     if tenant.channel == "thread":
         return IccThreadCovert(system, config, core=tenant.sender_core)
@@ -168,7 +175,7 @@ def run_scenario(spec: Union[ScenarioSpec, str]) -> ScenarioRun:
     symbols = bytes_to_symbols(spec.payload)
     channels: List[Optional[CovertChannel]] = []
     for tenant in spec.tenants:
-        channel = _make_channel(system, tenant, spec)
+        channel = make_channel(system, tenant, spec)
         try:
             channel.calibrate()
         except (CalibrationError, ProtocolError):

@@ -136,6 +136,7 @@ class OptionsSpec:
     ldo_rails: bool = False
     improved_throttling: bool = False
     secure_mode: bool = False
+    turbo_license_limit: bool = False
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[str, Any]) -> "OptionsSpec":
@@ -145,8 +146,18 @@ class OptionsSpec:
         return cls(**{name: bool(mapping.get(name, False)) for name in names})
 
     def to_mapping(self) -> Dict[str, Any]:
-        """Canonical plain-dict form (every field explicit)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """Canonical plain-dict form.
+
+        Every original switch is explicit; ``turbo_license_limit`` is
+        emitted only when set.  Run documents embed this mapping, so an
+        unconditionally emitted new key would silently re-digest every
+        committed golden — absent-means-False keeps pre-existing
+        digests stable while the round-trip stays an identity.
+        """
+        mapping = {f.name: getattr(self, f.name) for f in fields(self)}
+        if not mapping["turbo_license_limit"]:
+            del mapping["turbo_license_limit"]
+        return mapping
 
 
 @dataclass(frozen=True)
@@ -667,6 +678,7 @@ class ScenarioSpec:
             ldo_rails=self.options.ldo_rails,
             improved_throttling=self.options.improved_throttling,
             secure_mode=self.options.secure_mode,
+            turbo_license_limit=self.options.turbo_license_limit,
             pmu_queue_depth=self.pmu.queue_depth,
             pmu_grant_policy=self.pmu.grant_policy,
         )

@@ -83,6 +83,11 @@ class SystemOptions:
     pmu_grant_policy:
         ``"serialized"`` (the paper's behaviour) or ``"coalesced"``
         (batch all queued up-requests into one transition).
+    turbo_license_limit:
+        Mitigation-matrix defender: clamp the package frequency to the
+        worst-case turbo-license ceiling so guardband traffic never
+        changes frequency (no PLL-relock throttling), at a permanent
+        frequency cost (see :class:`repro.pmu.central.PMUConfig`).
     disable_throttling:
         ABLATION ONLY: let PHIs run at full rate without waiting for
         their guardband.  The droop model then reports the voltage
@@ -103,6 +108,7 @@ class SystemOptions:
     ldo_rails: bool = False
     improved_throttling: bool = False
     secure_mode: bool = False
+    turbo_license_limit: bool = False
     disable_throttling: bool = False
     pmu_queue_depth: int = 0
     pmu_grant_policy: str = "serialized"
@@ -296,6 +302,7 @@ class System:
                 secure_mode=options.secure_mode,
                 queue_depth=options.pmu_queue_depth,
                 grant_policy=options.pmu_grant_policy,
+                turbo_license_limit=options.turbo_license_limit,
             ),
         )
         self.pmu.on_state_change = self._on_pmu_state_change

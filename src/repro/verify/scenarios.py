@@ -18,7 +18,11 @@ Section-5 behaviours are all covered:
   ``scenario_interference_2pair`` — declarative-library scenarios
   (:mod:`repro.scenarios`) pinned as full run documents, covering the
   single-pair baseline, trace-driven background replay, and the
-  multi-tenant shared-PMU topology.
+  multi-tenant shared-PMU topology;
+* ``matrix_2x2`` — a plain/adaptive x none/secure corner of the
+  attacker-vs-defender mitigation matrix
+  (:mod:`repro.mitigations.matrix`), whose undefended plain cell must
+  stay bit-identical to ``scenario_baseline_cores``.
 
 Scenarios marked ``supports_runner`` accept a
 :class:`~repro.runner.SweepRunner`, which the determinism auditor uses
@@ -182,6 +186,23 @@ def scenario_interference_2pair() -> Dict[str, Any]:
     return run_document("interference_2pair")
 
 
+def matrix_2x2(runner: Optional[SweepRunner] = None) -> Dict[str, Any]:
+    """A 2x2 corner of the mitigation matrix as a digest document.
+
+    Plain and adaptive cross-core attackers against no defence and the
+    secure mode: one golden pins an open cell whose underlying run
+    document is bit-identical to ``scenario_baseline_cores``, a
+    session cell, and two defeated cells.  Costs are skipped — the
+    cost harness has its own benchmark — so the golden stays cheap.
+    """
+    from repro.mitigations.matrix import run_matrix
+
+    report = run_matrix(attackers=("plain_cores", "adaptive_cores"),
+                        defenders=("none", "secure_mode"),
+                        runner=runner, include_costs=False)
+    return report.document()
+
+
 @dataclass(frozen=True)
 class Scenario:
     """One canonical scenario of the golden-trace harness.
@@ -226,6 +247,8 @@ SCENARIOS: Tuple[Scenario, ...] = (
     Scenario("scenario_interference_2pair", scenario_interference_2pair,
              False,
              "declarative library: two tenant pairs sharing one PMU"),
+    Scenario("matrix_2x2", matrix_2x2, True,
+             "mitigation matrix corner: plain/adaptive x none/secure"),
 )
 
 

@@ -316,3 +316,46 @@ class TestEndToEnd:
         assert counts["grant-interference"] > 0
         assert counts["thermal-drift"] > 0
         assert system.thermal.ambient_offset_c > 0.0
+
+
+class TestStateFlush:
+    """The temporal-partitioning (state flush) defender fault."""
+
+    def test_registered_but_not_in_default_suite(self):
+        assert "state-flush" in fault_model_names()
+        suite = parse_fault_spec("default")
+        assert all(m.name != "state-flush" for m in suite.models)
+
+    def test_parameter_validation(self):
+        from repro.faults import StateFlush
+        with pytest.raises(ConfigError):
+            StateFlush(quantum_us=0.0)
+        with pytest.raises(ConfigError):
+            StateFlush(hold_us=-1.0)
+        with pytest.raises(ConfigError):
+            StateFlush(horizon_ms=0.0)
+
+    def test_intensity_zero_is_a_no_op(self):
+        from repro.faults import StateFlush
+        system = System(cannon_lake_i3_8121u())
+        baseline_processes = len(system._processes)
+        StateFlush(intensity=0.0).attach(system, FaultInjector([]))
+        assert len(system._processes) == baseline_processes
+
+    def test_flushes_fire_on_the_quantum(self):
+        injector = parse_fault_spec(
+            "state-flush:quantum_us=500,hold_us=80,horizon_ms=5")
+        system = System(cannon_lake_i3_8121u())
+        injector.attach(system)
+        system.run_until(us_to_ns(5_000.0))
+        model = system.faults.models[0]
+        # 5 ms horizon / (500 us quantum + 80 us hold) ~ 8 flushes.
+        assert model.events >= 6
+        # The flush drives the PMU through real transitions.
+        assert len(system.pmu.transitions_issued) > 0
+
+    def test_flush_params_round_trip(self):
+        from repro.faults import StateFlush
+        model = StateFlush(quantum_us=500.0, hold_us=80.0, horizon_ms=5.0)
+        assert model.params() == {"quantum_us": 500.0, "hold_us": 80.0,
+                                  "horizon_ms": 5.0}

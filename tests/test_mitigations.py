@@ -87,3 +87,29 @@ class TestTable1Matrix:
     def test_unknown_cell_rejected(self, report):
         with pytest.raises(ConfigError):
             report.verdict("IccThreadCovert", Mitigation.NONE)
+
+
+class TestReportEdgeCases:
+    """All-cells-defeated shape and the blocked property."""
+
+    def test_secure_mode_only_matrix_is_all_defeated(self):
+        report = evaluate_all(cannon_lake_i3_8121u(),
+                              mitigations=[Mitigation.SECURE_MODE])
+        assert report.outcomes, "expected one outcome per channel"
+        assert all(o.verdict == "MITIGATED" for o in report.outcomes)
+        assert all(o.blocked for o in report.outcomes)
+
+    def test_blocked_tracks_the_verdict_string(self):
+        report = evaluate_all(cannon_lake_i3_8121u(),
+                              mitigations=[Mitigation.IMPROVED_THROTTLING])
+        for outcome in report.outcomes:
+            assert outcome.blocked == (outcome.verdict == "MITIGATED")
+
+    def test_channel_filter_prunes_rows(self):
+        report = evaluate_all(
+            cannon_lake_i3_8121u(),
+            mitigations=[Mitigation.SECURE_MODE],
+            channel_filter=lambda name: name == "IccThreadCovert")
+        assert {o.channel for o in report.outcomes} == {"IccThreadCovert"}
+        with pytest.raises(ConfigError):
+            report.verdict("IccSMTcovert", Mitigation.SECURE_MODE)

@@ -178,3 +178,62 @@ class TestJitteredSchedule:
             JitteredSchedule(0.0, 1000.0, jitter_ns=1000.0)
         with pytest.raises(ProtocolError):
             JitteredSchedule(0.0, 1000.0, jitter_ns=-1.0)
+
+
+class TestEdgeCases:
+    """Boundary behaviour: empty traces and exact thresholds."""
+
+    def _train(self, intervals):
+        trace = StepTrace("t")
+        t = 0.0
+        trace.record(t, 0)
+        for gap in intervals:
+            t += gap
+            trace.record(t, 1)
+            trace.record(t + 1000.0, 0)
+        return trace, t + 2000.0
+
+    def test_empty_trace_yields_calm_report(self):
+        report = ThrottleAnomalyDetector().analyze_trace(
+            0, StepTrace("t"), 0.0, ms_to_ns(10.0))
+        assert not report.flagged
+        assert report.episodes == 0
+        assert report.periodicity == 0.0
+        assert report.mean_interval_ns == 0.0
+        assert report.episode_rate_hz == 0.0
+
+    def test_exactly_min_episodes_gets_a_verdict(self):
+        # min_episodes is inclusive: a metronomic train of exactly that
+        # many episodes must already be flaggable.
+        detector = ThrottleAnomalyDetector(min_episodes=6)
+        trace, end = self._train([750_000.0] * 6)
+        report = detector.analyze_trace(0, trace, 0.0, end)
+        assert report.episodes == 6
+        assert report.flagged
+
+    def test_one_short_of_min_episodes_is_no_evidence(self):
+        detector = ThrottleAnomalyDetector(min_episodes=6)
+        trace, end = self._train([750_000.0] * 5)
+        report = detector.analyze_trace(0, trace, 0.0, end)
+        assert report.episodes == 5
+        assert not report.flagged
+        assert report.periodicity == 0.0
+
+    def test_threshold_is_inclusive(self):
+        # flagged is `score >= threshold`: pin the boundary by running
+        # the same train through a detector whose threshold equals the
+        # measured score exactly.
+        trace, end = self._train([750_000.0] * 10)
+        score = ThrottleAnomalyDetector().analyze_trace(
+            0, trace, 0.0, end).periodicity
+        at_boundary = ThrottleAnomalyDetector(periodicity_threshold=score)
+        assert at_boundary.analyze_trace(0, trace, 0.0, end).flagged
+
+    def test_threshold_of_one_allowed_but_above_rejected(self):
+        ThrottleAnomalyDetector(periodicity_threshold=1.0)
+        with pytest.raises(ConfigError):
+            ThrottleAnomalyDetector(periodicity_threshold=1.0001)
+
+    def test_periodicity_score_needs_three_starts(self):
+        detector = ThrottleAnomalyDetector()
+        assert detector.periodicity_score([1.0, 2.0], 0.0, 10.0) == 0.0

@@ -240,3 +240,38 @@ class TestSecureMode:
         _, pmu = build_pmu(secure=True)
         overhead = pmu.secure_mode_power_overhead(IClass.SCALAR_64)
         assert 0.04 <= overhead <= 0.11
+
+
+class TestTurboLicenseLimit:
+    """The turbo-license-limit defender switch on the central PMU.
+
+    With the limit on, the package ceiling is computed as if every
+    core ran the power-virus class, so guardband traffic above base
+    frequency stops producing PLL-relock frequency changes — the
+    defender trades standing turbo headroom for a quieter frequency
+    observable.
+    """
+
+    def _run(self, limit):
+        import dataclasses
+        from repro.scenarios.build import build_system
+        from repro.scenarios.registry import get_spec
+        from repro.scenarios.run import run_scenario
+        from repro.scenarios.spec import OptionsSpec
+        spec = dataclasses.replace(
+            get_spec("baseline_cores"), name="probe_turbo",
+            overrides=(("base_freq_ghz", 3.0),),
+            options=OptionsSpec(turbo_license_limit=limit))
+        run = run_scenario(spec)
+        return run.document()["system"]
+
+    def test_limit_clamps_to_the_worst_case_ceiling(self):
+        limited = self._run(True)
+        assert limited["freq_ghz_final"] == pytest.approx(2.6)
+
+    def test_limit_quiets_the_frequency_observable(self):
+        baseline = self._run(False)
+        limited = self._run(True)
+        assert baseline["freq_ghz_final"] == pytest.approx(3.0)
+        assert (sum(limited["transitions_issued"])
+                < sum(baseline["transitions_issued"]))

@@ -248,3 +248,35 @@ class TestRejection:
             ScenarioSpec.from_mapping({"description": "d"})
         with pytest.raises(ConfigError, match="'description'"):
             ScenarioSpec.from_mapping({"name": "x"})
+
+
+class TestTurboLicenseLimitOption:
+    """The defender switch added for the mitigation matrix.
+
+    The option must round-trip like every other switch, but its
+    mapping key is emitted only when set: run documents embed the
+    options mapping, so an unconditionally emitted new key would
+    re-digest every committed scenario golden.
+    """
+
+    def test_round_trip_both_ways(self):
+        on = OptionsSpec(turbo_license_limit=True)
+        off = OptionsSpec()
+        assert OptionsSpec.from_mapping(on.to_mapping()) == on
+        assert OptionsSpec.from_mapping(off.to_mapping()) == off
+
+    def test_mapping_key_only_emitted_when_set(self):
+        assert "turbo_license_limit" not in OptionsSpec().to_mapping()
+        assert OptionsSpec(
+            turbo_license_limit=True).to_mapping()["turbo_license_limit"]
+
+    def test_reaches_system_options(self):
+        spec = ScenarioSpec(
+            name="turbo_probe", description="d", preset="cannon_lake",
+            options=OptionsSpec(turbo_license_limit=True),
+            tenants=(TenantSpec("cores", 0, 1),))
+        assert spec.system_options().turbo_license_limit
+        assert not ScenarioSpec(
+            name="plain_probe", description="d", preset="cannon_lake",
+            tenants=(TenantSpec("cores", 0, 1),)).system_options(
+        ).turbo_license_limit
