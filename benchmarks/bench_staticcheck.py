@@ -6,17 +6,28 @@ repro.staticcheck src/repro`` finishing in interactive time; a pass
 that accidentally goes quadratic in module count (say, rebuilding the
 project signature table per module) would show up here long before it
 makes CI miserable.
+
+The second benchmark guards the incremental cache's reason to exist:
+a warm (all-hits) run must beat the cold run by a wide margin, or the
+CI cache plumbing is dead weight.
 """
 
 import time
+from pathlib import Path
 
 from repro.staticcheck import analyze_paths
 from repro.staticcheck.runner import default_root
 
+#: The committed ratchet baseline — the full tree is only "clean"
+#: modulo these reviewed entries, exactly as the CI gate runs it.
+BASELINE = (Path(__file__).resolve().parent.parent
+            / "tests" / "staticcheck_baseline.json")
 
-def full_tree_run():
+
+def full_tree_run(cache_dir=None):
     """One complete analysis of the installed repro package."""
-    return analyze_paths(paths=[default_root()])
+    return analyze_paths(paths=[default_root()], baseline_path=BASELINE,
+                         cache_dir=cache_dir)
 
 
 def test_bench_staticcheck(benchmark):
@@ -27,8 +38,36 @@ def test_bench_staticcheck(benchmark):
     benchmark.extra_info["live_findings"] = len(report.findings)
     benchmark.extra_info["waived"] = len(report.waived)
     assert report.files_analyzed > 50  # really swept the whole package
-    # The committed tree analyses clean under the committed waivers.
+    # The committed tree analyses clean under the committed waivers
+    # and ratchet baseline.
     assert report.ok, [f.render() for f in report.findings]
     # Hard interactivity budget: a full-tree run (all three timed
     # rounds included) stays well under ten seconds.
     assert elapsed_s < 10.0, f"staticcheck full tree took {elapsed_s:.1f}s"
+
+
+def test_bench_staticcheck_warm_cache(benchmark, tmp_path):
+    cache_dir = tmp_path / "cache"
+    cold_start = time.perf_counter()
+    cold = full_tree_run(cache_dir)
+    cold_s = time.perf_counter() - cold_start
+    assert cold.cache is not None and cold.cache.stored > 0
+
+    warm_start = time.perf_counter()
+    warm = benchmark.pedantic(full_tree_run, args=(cache_dir,),
+                              rounds=1, iterations=1)
+    warm_s = time.perf_counter() - warm_start
+    benchmark.extra_info["cold_s"] = round(cold_s, 3)
+    benchmark.extra_info["warm_s"] = round(warm_s, 3)
+    benchmark.extra_info["cache_hits"] = warm.cache.hits
+
+    # The warm run must be a pure replay: every finding set cached...
+    assert warm.cache.misses == 0
+    assert warm.cache.hits == cold.cache.stored
+    # ...bit-identical to the cold analysis...
+    assert warm.findings == cold.findings
+    assert warm.ok
+    # ...and at least 3x faster, or the incremental engine isn't
+    # earning its complexity.  (Measured locally: ~8x.)
+    assert warm_s * 3.0 < cold_s, \
+        f"warm cache run {warm_s:.2f}s vs cold {cold_s:.2f}s (< 3x)"

@@ -744,13 +744,29 @@ class ChannelLabService:
         """Mirror a job's completion stream to a JSONL file.
 
         One line per task completion (completion order), then a final
-        summary line with the job's terminal state.
+        summary line with the job's terminal state.  All file I/O runs
+        in the loop's default executor so a slow disk never stalls the
+        scheduler's event loop between completions.
         """
-        with open(path, "w", encoding="utf-8") as handle:
-            async for record in job.stream():
-                handle.write(json.dumps(record.describe(), sort_keys=True))
-                handle.write("\n")
-                handle.flush()
-            await job.wait()
-            handle.write(json.dumps(job.describe(), sort_keys=True))
+        loop = asyncio.get_running_loop()
+
+        def _open():
+            return open(path, "w", encoding="utf-8")
+
+        def _emit(handle, payload: str) -> None:
+            handle.write(payload)
             handle.write("\n")
+            handle.flush()
+
+        handle = await loop.run_in_executor(None, _open)
+        try:
+            async for record in job.stream():
+                await loop.run_in_executor(
+                    None, _emit, handle,
+                    json.dumps(record.describe(), sort_keys=True))
+            await job.wait()
+            await loop.run_in_executor(
+                None, _emit, handle,
+                json.dumps(job.describe(), sort_keys=True))
+        finally:
+            await loop.run_in_executor(None, handle.close)

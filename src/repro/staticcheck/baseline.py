@@ -75,12 +75,15 @@ def load_baseline(path: Optional[Path]) -> List[Dict[str, str]]:
 
 def apply_baseline(findings: Sequence[Finding],
                    entries: Sequence[Dict[str, str]],
-                   ) -> Tuple[List[Finding], List[Finding], List[str]]:
+                   ) -> Tuple[List[Finding], List[Finding],
+                              List[Dict[str, str]]]:
     """Split findings by baseline coverage.
 
     Returns ``(new, baselined, unused)``: findings not covered by any
-    entry, findings covered, and human-readable renderings of entries
-    that covered nothing (stale debt that must be deleted).
+    entry, findings covered, and the entries that covered nothing
+    (stale debt that must be deleted), each as its original
+    ``{"rule", "path", "source"}`` dict so reporters can name the rule
+    and file instead of dumping a raw JSON key.
     """
     table = {_key(e["rule"], e["path"], e["source"]) for e in entries}
     used: set = set()
@@ -94,7 +97,24 @@ def apply_baseline(findings: Sequence[Finding],
         else:
             new.append(finding)
     unused = [
-        f"{rule} {path} :: {source}"
+        {"rule": rule, "path": path, "source": source}
         for rule, path, source in sorted(table - used)
     ]
     return new, covered, unused
+
+
+def describe_stale_entry(entry: Dict[str, str]) -> str:
+    """Human-readable description of one stale baseline entry."""
+    return (f"rule '{entry['rule']}' no longer fires in {entry['path']} "
+            f"(recorded source: {entry['source']!r})")
+
+
+def refresh_command(roots: Sequence[str],
+                    baseline_path: Optional[str]) -> str:
+    """The exact command that re-records the baseline for a run."""
+    target = baseline_path or "tests/staticcheck_baseline.json"
+    paths = " ".join(str(root) for root in roots)
+    prefix = f"python -m repro.staticcheck {paths} " if paths \
+        else "python -m repro.staticcheck "
+    return (f"{prefix}--baseline {target} "
+            f"--write-baseline {target}")

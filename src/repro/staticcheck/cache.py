@@ -1,0 +1,185 @@
+"""On-disk incremental cache for per-module analysis results.
+
+The full-tree run re-derives the same facts and findings on every
+invocation even though almost nothing changed between two runs — the
+classic incremental-analysis shape.  This module content-addresses two
+kinds of per-module results, following the :class:`repro.runner.cache.
+ResultCache` conventions (sha256 keys, two-level ``<key[:2]>/<key>``
+sharding, atomic tempfile + ``os.replace`` writes, corrupt entries
+unlinked and treated as misses):
+
+* **facts** — the module's :func:`~repro.staticcheck.context.
+  module_facts` contribution to the :class:`~repro.staticcheck.context.
+  ProjectContext`, keyed on the source hash alone.  A warm run rebuilds
+  the whole cross-module table without parsing a single unchanged file.
+* **findings** — one entry per ``(module, pass)``, keyed on the source
+  hash, the pass name *and version*, and the project digest.  The
+  digest term makes per-module caching sound in the presence of
+  cross-module checks: an edit that changes any signature or dataclass
+  field table invalidates every module's cached findings, while
+  body-only edits invalidate only the touched module.
+
+The cache root defaults to ``$REPRO_CACHE_DIR/staticcheck`` (falling
+back to ``.repro-cache/staticcheck``), so CI can persist it alongside
+the sweep-result cache with one cache key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.staticcheck.model import CacheUsage, Finding, Severity
+
+#: Environment variable naming the shared cache root (same variable as
+#: :class:`repro.runner.cache.ResultCache`).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default shared cache root when the environment does not name one.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Subdirectory of the shared root holding staticcheck entries.
+CACHE_SUBDIR = "staticcheck"
+
+#: Version of the on-disk entry layout; bump on incompatible change.
+CACHE_SCHEMA = 1
+
+
+def default_cache_root() -> Path:
+    """The staticcheck cache directory the environment selects."""
+    base = Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+    return base / CACHE_SUBDIR
+
+
+def source_hash(source: str) -> str:
+    """Content hash of one module's source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _finding_to_dict(finding: Finding) -> Dict[str, Any]:
+    """JSON form of one finding for cache entries."""
+    return {
+        "rule": finding.rule, "path": finding.path, "line": finding.line,
+        "message": finding.message, "source": finding.source,
+        "severity": finding.severity.value, "fix_hint": finding.fix_hint,
+        "col": finding.col,
+    }
+
+
+def _finding_from_dict(payload: Dict[str, Any]) -> Finding:
+    """Inverse of :func:`_finding_to_dict`."""
+    return Finding(
+        rule=payload["rule"], path=payload["path"], line=payload["line"],
+        message=payload["message"], source=payload["source"],
+        severity=Severity(payload["severity"]),
+        fix_hint=payload["fix_hint"], col=payload["col"])
+
+
+class AnalysisCache:
+    """Content-addressed store of per-module facts and findings.
+
+    Thread- and process-safe by construction: entries are immutable
+    functions of their key, written atomically, so concurrent writers
+    can only race to produce identical files.
+    """
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        #: Hit/miss counters for the findings side (the CI artifact).
+        self.stats = CacheUsage()
+
+    # -- keys ----------------------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    @staticmethod
+    def _key_of(parts: Sequence[str]) -> str:
+        digest = hashlib.sha256()
+        for part in parts:
+            digest.update(part.encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    def facts_key(self, path: str, src_hash: str, facts_version: int) -> str:
+        """Cache key of one module's project-facts entry."""
+        return self._key_of(["facts", str(CACHE_SCHEMA),
+                             str(facts_version), path, src_hash])
+
+    def findings_key(self, path: str, src_hash: str, pass_name: str,
+                     pass_ver: int, project_digest: str) -> str:
+        """Cache key of one ``(module, pass)`` findings entry."""
+        return self._key_of(["findings", str(CACHE_SCHEMA), path, src_hash,
+                             pass_name, str(pass_ver), project_digest])
+
+    # -- raw entry IO --------------------------------------------------------
+
+    def _read(self, key: str) -> Optional[Dict[str, Any]]:
+        """Load one entry; corrupt files are unlinked and miss."""
+        entry = self._entry_path(key)
+        try:
+            return json.loads(entry.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            try:
+                entry.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _write(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically persist one entry (tempfile + ``os.replace``)."""
+        entry = self._entry_path(key)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        body = json.dumps(payload, sort_keys=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=str(entry.parent), suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                tmp.write(body)
+            os.replace(tmp_name, entry)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+
+    # -- facts ---------------------------------------------------------------
+
+    def get_facts(self, key: str) -> Optional[Dict[str, Any]]:
+        """Cached facts dict under ``key``, or None."""
+        payload = self._read(key)
+        if payload is None or "facts" not in payload:
+            return None
+        return payload["facts"]
+
+    def put_facts(self, key: str, facts: Dict[str, Any]) -> None:
+        """Persist one module's facts dict under ``key``."""
+        self._write(key, {"facts": facts})
+
+    # -- findings ------------------------------------------------------------
+
+    def get_findings(self, key: str) -> Optional[List[Finding]]:
+        """Cached findings under ``key`` (counts a hit/miss), or None."""
+        payload = self._read(key)
+        if payload is None or "findings" not in payload:
+            self.stats.misses += 1
+            return None
+        try:
+            findings = [_finding_from_dict(f) for f in payload["findings"]]
+        except (KeyError, TypeError, ValueError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return findings
+
+    def put_findings(self, key: str, findings: Sequence[Finding]) -> None:
+        """Persist one ``(module, pass)`` findings list under ``key``."""
+        self._write(key, {"findings": [_finding_to_dict(f)
+                                       for f in findings]})
+        self.stats.stored += 1

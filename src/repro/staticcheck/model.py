@@ -17,7 +17,7 @@ import enum
 import fnmatch
 import os
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 
 @enum.unique
@@ -109,6 +109,35 @@ class Waiver:
         return f"{self.rule} {self.path_glob}{tail}"
 
 
+@dataclass(frozen=True)
+class PassTiming:
+    """Wall-clock cost of one pass across one analysis run.
+
+    ``modules`` counts modules the pass actually executed on (cache
+    hits excluded); ``findings`` counts every finding attributed to the
+    pass this run, cached or fresh.
+    """
+
+    pass_name: str
+    wall_ms: float
+    modules: int = 0
+    findings: int = 0
+
+
+@dataclass
+class CacheUsage:
+    """Hit/miss counters of the incremental findings cache for one run."""
+
+    hits: int = 0
+    misses: int = 0
+    stored: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict form for the JSON reporter and the stats artifact."""
+        return {"hits": self.hits, "misses": self.misses,
+                "stored": self.stored}
+
+
 @dataclass
 class Report:
     """Outcome of one analysis run, split by suppression status.
@@ -123,10 +152,20 @@ class Report:
     waived: List[Finding] = field(default_factory=list)
     baselined: List[Finding] = field(default_factory=list)
     unused_waivers: List[Waiver] = field(default_factory=list)
-    #: Stale baseline entries, rendered as ``rule path :: source``.
-    unused_baseline: List[str] = field(default_factory=list)
+    #: Stale baseline entries as ``{"rule", "path", "source"}`` dicts.
+    unused_baseline: List[Dict[str, str]] = field(default_factory=list)
     #: How many files the run analysed (for the summary line).
     files_analyzed: int = 0
+    #: Per-pass wall-clock timings, sorted by pass name.
+    timings: List[PassTiming] = field(default_factory=list)
+    #: Findings-cache counters (None when caching was disabled).
+    cache: Optional[CacheUsage] = None
+    #: The baseline file this run applied, for the stale-entry hint.
+    baseline_path: Optional[str] = None
+    #: The analysed root paths as given, for the stale-entry hint.
+    roots: Tuple[str, ...] = ()
+    #: True when ``--changed`` restricted analysis to touched modules.
+    changed_only: bool = False
 
     @property
     def ok(self) -> bool:

@@ -5,11 +5,13 @@ framework registry.  Adding a pass is: write the module, import it
 here — nothing else to wire up.
 """
 
+from repro.staticcheck.passes import asyncsafety  # noqa: F401
 from repro.staticcheck.passes import determinism  # noqa: F401
 from repro.staticcheck.passes import dimensional  # noqa: F401
+from repro.staticcheck.passes import goldenflow  # noqa: F401
 from repro.staticcheck.passes import hygiene  # noqa: F401
 from repro.staticcheck.passes import kernelsafety  # noqa: F401
 from repro.staticcheck.passes import poolsafety  # noqa: F401
 
-__all__ = ["determinism", "dimensional", "hygiene", "kernelsafety",
-           "poolsafety"]
+__all__ = ["asyncsafety", "determinism", "dimensional", "goldenflow",
+           "hygiene", "kernelsafety", "poolsafety"]

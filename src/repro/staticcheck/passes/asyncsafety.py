@@ -1,0 +1,327 @@
+"""Async-safety pass over coroutine bodies.
+
+The channel-lab service (:mod:`repro.service`) is single-loop asyncio:
+one blocked event loop stalls every queue, stream and HTTP response at
+once, and a dropped coroutine silently swallows its exceptions.  Covert-
+channel measurements live and die on scheduling determinism, so these
+are correctness bugs, not style nits:
+
+``async-blocking-call``
+    A blocking call executed directly on the event loop inside an
+    ``async def`` body: ``time.sleep``, ``subprocess`` calls, sync file
+    I/O (``open``, ``Path.read_text``/``write_text``), a synchronous
+    ``queue.Queue.get()``, or a ``SweepRunner`` dispatch
+    (``runner.map/call/run``).  All of these belong behind
+    ``loop.run_in_executor`` (where only the function *reference* is
+    mentioned, which this rule does not flag).
+``async-unawaited``
+    A statement-expression call to a function the project only ever
+    defines ``async def``, with the returned coroutine discarded — it
+    never runs.  Names also defined synchronously somewhere are
+    skipped, as are coroutines handed to another call (the callee is
+    assumed to schedule them) and ``async for`` iterables.
+``async-dropped-task``
+    A fire-and-forget ``asyncio.create_task``/``ensure_future`` whose
+    handle is dropped: the task can be garbage-collected mid-flight and
+    its exceptions vanish.  Keep the handle and await it at shutdown.
+``async-held-handle``
+    A synchronous ``with`` over a file handle (``open(...)``) or a
+    lock/store-named resource whose body awaits: the resource stays
+    held across every suspension point inside the block.
+``async-shared-state``
+    Module-global state mutated from a coroutine body.  Coroutines of
+    one loop interleave at every ``await``, so unsynchronised shared
+    mutations are ordering-dependent — exactly the nondeterminism the
+    reproduction's goldens exist to rule out.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.staticcheck.context import ModuleContext, ProjectContext
+from repro.staticcheck.model import Finding, Severity
+from repro.staticcheck.registry import Pass, Rule, register
+
+#: ``subprocess`` attributes that block until the child exits (or, for
+#: ``Popen``, at least block on fork/exec and invite ``.wait()``).
+_SUBPROCESS_CALLS = frozenset({"run", "call", "check_call", "check_output",
+                               "Popen", "getoutput", "getstatusoutput"})
+
+#: Attribute calls that do sync file I/O regardless of the receiver.
+_SYNC_IO_ATTRS = frozenset({"read_text", "write_text", "read_bytes",
+                            "write_bytes"})
+
+#: ``SweepRunner``-style dispatch attributes that block on a pool.
+_RUNNER_DISPATCH = frozenset({"map", "call", "run"})
+
+#: Attribute calls that spawn a task whose handle must be kept.
+_SPAWN_ATTRS = frozenset({"create_task", "ensure_future"})
+
+#: Receiver-name fragments marking a held resource (with ``open`` calls
+#: handled separately) for the held-handle rule.
+_RESOURCE_FRAGMENTS = ("lock", "store")
+
+#: Method calls that mutate their receiver in place.
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "appendleft",
+})
+
+#: Method names that are synchronous on asyncio's own objects (Task,
+#: Future, Handle), so a same-named ``async def`` elsewhere in the
+#: analysed subset must not make bare calls look like dropped
+#: coroutines (``task.cancel()`` is the canonical case).
+_STDLIB_SYNC_METHODS = frozenset({
+    "cancel", "close", "done", "result", "exception",
+    "set_result", "set_exception", "add_done_callback",
+})
+
+
+def _attr_tail(func: ast.expr) -> str:
+    """The final attribute/identifier of a call target ('' if exotic)."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _receiver_name(func: ast.expr) -> str:
+    """The identifier an attribute call's receiver 'is about'."""
+    if not isinstance(func, ast.Attribute):
+        return ""
+    base = func.value
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return ""
+
+
+def _body_walk(fn: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk an async function's own body, skipping nested scopes.
+
+    Nested defs (sync or async) run in their own context — a blocking
+    call inside a nested sync helper is not on this coroutine's hot
+    path — so context-sensitive rules stop at scope boundaries.
+    """
+    stack: List[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _from_imports(tree: ast.Module) -> Dict[str, str]:
+    """Bare name -> source module for top-level ``from x import y``."""
+    table: Dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                table[alias.asname or alias.name] = node.module
+    return table
+
+
+@register
+class AsyncSafetyPass:
+    """Flags event-loop hazards inside ``async def`` bodies."""
+
+    name = "asyncsafety"
+    #: Cache version; bump when any rule's behaviour changes.
+    version = 1
+    rules: Tuple[Rule, ...] = (
+        Rule("async-blocking-call",
+             "blocking call executed directly on the event loop",
+             Severity.ERROR,
+             "wrap the call in loop.run_in_executor (or use the asyncio "
+             "equivalent, e.g. asyncio.sleep)"),
+        Rule("async-unawaited",
+             "coroutine created but never awaited or scheduled",
+             Severity.ERROR,
+             "await the call, or schedule it with asyncio.create_task "
+             "and keep the handle"),
+        Rule("async-dropped-task",
+             "fire-and-forget task handle dropped",
+             Severity.WARNING,
+             "assign the task handle and await it at shutdown so "
+             "exceptions surface"),
+        Rule("async-held-handle",
+             "file handle or lock held across an await",
+             Severity.WARNING,
+             "do the blocking I/O via run_in_executor, or close the "
+             "resource before awaiting"),
+        Rule("async-shared-state",
+             "module-global state mutated from a coroutine",
+             Severity.WARNING,
+             "confine the state to the owning object, or guard the "
+             "mutation with a lock"),
+    )
+
+    def run(self, ctx: ModuleContext,
+            project: ProjectContext) -> List[Finding]:
+        """Scan every ``async def`` in the module."""
+        collector = _Collector(self, ctx, project)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                collector.check_async_def(node)
+        return sorted(collector.findings,
+                      key=lambda f: (f.line, f.rule))
+
+
+class _Collector:
+    """Accumulates asyncsafety findings for one module."""
+
+    def __init__(self, owner: AsyncSafetyPass, ctx: ModuleContext,
+                 project: ProjectContext) -> None:
+        self.ctx = ctx
+        self.project = project
+        self.findings: List[Finding] = []
+        self._rules = {rule.id: rule for rule in owner.rules}
+        self._module_globals = ctx.module_level_names()
+        self._from_imports = _from_imports(ctx.tree)
+
+    def _add(self, rule_id: str, node: ast.AST, message: str) -> None:
+        rule = self._rules[rule_id]
+        line = getattr(node, "lineno", 0)
+        self.findings.append(Finding(
+            rule=rule_id, path=self.ctx.path, line=line, message=message,
+            source=self.ctx.source_line(line),
+            severity=rule.default_severity,
+            fix_hint=rule.default_fix_hint))
+
+    # -- per-coroutine scan --------------------------------------------------
+
+    def check_async_def(self, fn: ast.AsyncFunctionDef) -> None:
+        """Apply every rule to one coroutine body."""
+        awaited: Set[int] = set()
+        body = list(_body_walk(fn))
+        for node in body:
+            if isinstance(node, ast.Await):
+                awaited.add(id(node.value))
+        for node in body:
+            if isinstance(node, ast.Call) and id(node) not in awaited:
+                self._check_blocking(node)
+            if isinstance(node, ast.Expr) \
+                    and isinstance(node.value, ast.Call):
+                self._check_dropped_task(node.value)
+                self._check_unawaited_in(fn, node.value)
+            elif isinstance(node, ast.With):
+                self._check_held_handle(node)
+            self._check_shared_state(node)
+
+    # -- rules ---------------------------------------------------------------
+
+    def _check_blocking(self, node: ast.Call) -> None:
+        """One non-awaited call: is it a known blocking primitive?"""
+        tail = _attr_tail(node.func)
+        receiver = _receiver_name(node.func)
+        origin = self._from_imports.get(tail, "")
+        if tail == "sleep" and (receiver == "time" or origin == "time"):
+            self._add("async-blocking-call", node,
+                      "time.sleep() blocks the event loop; "
+                      "use 'await asyncio.sleep(...)'")
+        elif (receiver == "subprocess"
+              or (origin == "subprocess" and tail in _SUBPROCESS_CALLS)):
+            self._add("async-blocking-call", node,
+                      f"subprocess call '{tail}' blocks the event loop; "
+                      f"use asyncio.create_subprocess_exec or an executor")
+        elif isinstance(node.func, ast.Name) and node.func.id == "open":
+            self._add("async-blocking-call", node,
+                      "sync file I/O (open) on the event loop; do the "
+                      "I/O in an executor")
+        elif tail in _SYNC_IO_ATTRS and isinstance(node.func, ast.Attribute):
+            self._add("async-blocking-call", node,
+                      f"sync file I/O (.{tail}) on the event loop; do "
+                      f"the I/O in an executor")
+        elif (tail == "get" and not node.args
+              and "queue" in receiver.lower()
+              and not any(k.arg == "block" for k in node.keywords)):
+            self._add("async-blocking-call", node,
+                      f"'{receiver}.get()' is an unbounded blocking wait "
+                      f"when {receiver} is a queue.Queue; use an "
+                      f"asyncio.Queue and await it")
+        elif tail in _RUNNER_DISPATCH and "runner" in receiver.lower():
+            self._add("async-blocking-call", node,
+                      f"'{receiver}.{tail}(...)' drives a process pool "
+                      f"synchronously on the event loop; dispatch it via "
+                      f"loop.run_in_executor")
+
+    def _check_unawaited_in(self, fn: ast.AsyncFunctionDef,
+                            node: ast.Call) -> None:
+        """A discarded call to a name only ever defined ``async def``."""
+        tail = _attr_tail(node.func)
+        if not tail or tail in _STDLIB_SYNC_METHODS \
+                or not self.project.is_async_name(tail):
+            return
+        self._add("async-unawaited", node,
+                  f"'{tail}(...)' is a coroutine function but the result "
+                  f"is neither awaited nor scheduled inside "
+                  f"'{fn.name}'; the coroutine never runs")
+
+    def _check_dropped_task(self, call: ast.Call) -> None:
+        """A statement-level create_task whose handle is discarded."""
+        if _attr_tail(call.func) in _SPAWN_ATTRS:
+            self._add("async-dropped-task", call,
+                      f"task handle from {_attr_tail(call.func)}(...) is "
+                      f"dropped; the task may be garbage-collected and "
+                      f"its exceptions are lost")
+
+    def _check_held_handle(self, node: ast.With) -> None:
+        """A sync ``with`` over a handle whose body awaits."""
+        has_await = any(isinstance(sub, ast.Await)
+                        for stmt in node.body
+                        for sub in ast.walk(stmt))
+        if not has_await:
+            return
+        for item in node.items:
+            expr = item.context_expr
+            held = None
+            if isinstance(expr, ast.Call) \
+                    and isinstance(expr.func, ast.Name) \
+                    and expr.func.id == "open":
+                held = "file handle from open(...)"
+            else:
+                name = _attr_tail(expr) if not isinstance(expr, ast.Call) \
+                    else _attr_tail(expr.func)
+                if any(part in name.lower()
+                       for part in _RESOURCE_FRAGMENTS):
+                    held = f"resource '{name}'"
+            if held is not None:
+                self._add("async-held-handle", node,
+                          f"{held} is held across an await; every "
+                          f"suspension point inside the block keeps it "
+                          f"pinned")
+
+    def _check_shared_state(self, node: ast.AST) -> None:
+        """Module-global mutation from inside the coroutine body."""
+        if isinstance(node, ast.Global):
+            self._add("async-shared-state", node,
+                      f"coroutine declares global "
+                      f"{', '.join(node.names)}; interleaved coroutines "
+                      f"race on it")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATING_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in self._module_globals):
+                self._add("async-shared-state", node,
+                          f"coroutine mutates module global "
+                          f"'{func.value.id}' via .{func.attr}(); "
+                          f"interleaved coroutines race on it")
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if (isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in self._module_globals):
+                    self._add("async-shared-state", node,
+                              f"coroutine stores into module global "
+                              f"'{target.value.id}'; interleaved "
+                              f"coroutines race on it")

@@ -1,0 +1,361 @@
+"""Golden-flow pass: mapping round-trips and digest-stable emission.
+
+Every committed golden digest in this reproduction is a hash over the
+canonical mapping form of a scenario run document, and the mapping form
+is produced by the ``to_mapping``/``from_mapping`` layer in
+:mod:`repro.scenarios.spec`.  That layer carries two easy-to-break
+contracts that no unit test states explicitly:
+
+``golden-roundtrip``
+    Every field of a mapping dataclass must flow through *both*
+    directions: emitted by ``to_mapping`` and consumed by
+    ``from_mapping``.  A field missing on either side silently drops
+    scenario configuration on the file/HTTP path while direct
+    construction still works — the worst kind of skew.
+``golden-emit``
+    The set of keys ``to_mapping`` emits *unconditionally* is pinned
+    per class in :data:`GOLDEN_UNCONDITIONAL`.  Adding a dataclass
+    field to a pinned class re-digests every committed golden unless
+    its emission is conditional (absent-means-default, the
+    ``turbo_license_limit`` pattern); conversely, making a pinned key
+    conditional changes existing digests too.  Classes outside the
+    table are strict by default: conditional emission without a pinned
+    contract is flagged, because absent-means-default is a deliberate,
+    reviewed exception — never an accident.
+``golden-forward``
+    At a spec-forwarding construction site of ``SystemOptions`` (one
+    passing ``self.<spec>.<field>`` keywords), every ``SystemOptions``
+    field outside :data:`FORWARD_EXEMPT` must be forwarded, and every
+    field of each spec dataclass drawn from must be forwarded too.  A
+    knob that validates, round-trips and digests but never reaches the
+    simulator silently measures the wrong system.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.staticcheck.context import (
+    ModuleContext,
+    ProjectContext,
+    _dataclass_field_names,
+    _is_dataclass_def,
+)
+from repro.staticcheck.model import Finding, Severity
+from repro.staticcheck.registry import Pass, Rule, register
+
+#: Pinned unconditional-emission contracts: exactly the keys each
+#: class's ``to_mapping`` emits on *every* call.  These sets are part
+#: of the committed golden digests — change them only together with a
+#: deliberate golden regeneration.
+GOLDEN_UNCONDITIONAL: Dict[str, frozenset] = {
+    "PMUSpec": frozenset({"queue_depth", "grant_policy"}),
+    # turbo_license_limit is the reviewed absent-means-default exception.
+    "OptionsSpec": frozenset({
+        "per_core_vr", "ldo_rails", "improved_throttling", "secure_mode"}),
+    "NoiseSpec": frozenset({
+        "interrupt_rate_per_s", "interrupt_mean_us", "ctx_switch_rate_per_s",
+        "ctx_switch_mean_us", "horizon_ms", "seed"}),
+    "WorkloadSpec": frozenset({
+        "kind", "core", "smt_slot", "duration_ms", "seed", "rate_per_s",
+        "phases"}),
+    "TenantSpec": frozenset({
+        "channel", "sender_core", "receiver_core", "offset_fraction"}),
+    "ScenarioSpec": frozenset({
+        "name", "description", "preset", "overrides", "options", "pmu",
+        "protocol", "tenants", "noise", "faults", "background",
+        "payload_hex", "seed"}),
+}
+
+#: ``SystemOptions`` fields a forwarding site may legitimately omit:
+#: ``disable_throttling`` is ablation-only and ``kernel`` stays at its
+#: environment-driven default so scenarios digest identically under
+#: both ``REPRO_KERNEL`` settings.
+FORWARD_EXEMPT = frozenset({"disable_throttling", "kernel"})
+
+
+def _call_tail(func: ast.expr) -> str:
+    """The final identifier of a call target ('' if exotic)."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _iterates_all_fields(node: ast.expr) -> bool:
+    """Whether an expression derives from ``fields(...)``/``asdict(...)``.
+
+    Both spell "every dataclass field, whatever they are" — the generic
+    emission/consumption idiom that stays correct as fields are added.
+    """
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) \
+                and _call_tail(sub.func) in ("fields", "asdict"):
+            return True
+    return False
+
+
+def _string_constants(node: ast.AST) -> Set[str]:
+    """Every string literal appearing anywhere under ``node``."""
+    return {sub.value for sub in ast.walk(node)
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str)}
+
+
+def _dict_literal_keys(node: ast.expr) -> Set[str]:
+    """Direct string keys of a dict literal (nested dicts excluded)."""
+    if not isinstance(node, ast.Dict):
+        return set()
+    return {key.value for key in node.keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)}
+
+
+def _subscript_key(target: ast.expr) -> Optional[str]:
+    """The constant string key of a ``name[key]`` target, if that shape."""
+    if (isinstance(target, ast.Subscript)
+            and isinstance(target.slice, ast.Constant)
+            and isinstance(target.slice.value, str)):
+        return target.slice.value
+    return None
+
+
+def _emission_of(fn: ast.FunctionDef,
+                 all_fields: Tuple[str, ...],
+                 ) -> Tuple[Set[str], Set[str]]:
+    """Split the keys ``fn`` emits into (unconditional, conditional).
+
+    A dataflow-free approximation that covers the repo's emission
+    idioms: literal dict returns, ``fields()``/``asdict()`` generic
+    emission (standing for every dataclass field), top-level subscript
+    stores, and ``del``/branch-guarded stores as the conditional forms.
+    """
+    unconditional: Set[str] = set()
+    conditional: Set[str] = set()
+
+    def emitted_by(expr: ast.expr) -> Set[str]:
+        if _iterates_all_fields(expr):
+            return set(all_fields) | _dict_literal_keys(expr)
+        return _dict_literal_keys(expr)
+
+    def visit(statements: List[ast.stmt], branch: bool) -> None:
+        sink = conditional if branch else unconditional
+        for stmt in statements:
+            if isinstance(stmt, ast.Assign):
+                sink.update(emitted_by(stmt.value))
+                for target in stmt.targets:
+                    key = _subscript_key(target)
+                    if key is not None:
+                        sink.add(key)
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                sink.update(emitted_by(stmt.value))
+            elif isinstance(stmt, ast.Delete):
+                for target in stmt.targets:
+                    key = _subscript_key(target)
+                    if key is not None:
+                        unconditional.discard(key)
+                        if branch:
+                            conditional.add(key)
+            elif isinstance(stmt, (ast.If,)):
+                visit(stmt.body, True)
+                visit(stmt.orelse, True)
+            elif isinstance(stmt, (ast.For, ast.While)):
+                visit(stmt.body, True)
+                visit(stmt.orelse, True)
+            elif isinstance(stmt, ast.Try):
+                visit(stmt.body, True)
+                visit(stmt.orelse, True)
+                visit(stmt.finalbody, branch)
+                for handler in stmt.handlers:
+                    visit(handler.body, True)
+            elif isinstance(stmt, ast.With):
+                visit(stmt.body, branch)
+
+    visit(fn.body, False)
+    return unconditional, conditional - unconditional
+
+
+def _self_chain(value: ast.expr) -> Optional[Tuple[str, str]]:
+    """Decompose a ``self.<attr>.<field>`` expression, or None."""
+    if (isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Attribute)
+            and isinstance(value.value.value, ast.Name)
+            and value.value.value.id == "self"):
+        return value.value.attr, value.attr
+    return None
+
+
+@register
+class GoldenFlowPass:
+    """Checks the mapping layer's round-trip and digest contracts."""
+
+    name = "goldenflow"
+    #: Cache version; bump when rules or the pinned table change.
+    version = 1
+    rules: Tuple[Rule, ...] = (
+        Rule("golden-roundtrip",
+             "mapping dataclass field missing from the round-trip",
+             Severity.ERROR,
+             "emit the field in to_mapping and consume it in "
+             "from_mapping (or drop the field)"),
+        Rule("golden-emit",
+             "unconditional emission set deviates from the pinned "
+             "golden contract",
+             Severity.ERROR,
+             "emit new fields conditionally (absent-means-default), or "
+             "update GOLDEN_UNCONDITIONAL together with a deliberate "
+             "golden regeneration"),
+        Rule("golden-forward",
+             "spec knob not forwarded to SystemOptions",
+             Severity.ERROR,
+             "forward every spec field at the SystemOptions "
+             "construction site (or add a reviewed exemption)"),
+    )
+
+    def run(self, ctx: ModuleContext,
+            project: ProjectContext) -> List[Finding]:
+        """Scan mapping classes and SystemOptions forwarding sites."""
+        collector = _Collector(self, ctx, project)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                collector.check_class(node)
+        return sorted(collector.findings,
+                      key=lambda f: (f.line, f.rule, f.message))
+
+
+class _Collector:
+    """Accumulates goldenflow findings for one module."""
+
+    def __init__(self, owner: GoldenFlowPass, ctx: ModuleContext,
+                 project: ProjectContext) -> None:
+        self.ctx = ctx
+        self.project = project
+        self.findings: List[Finding] = []
+        self._rules = {rule.id: rule for rule in owner.rules}
+
+    def _add(self, rule_id: str, node: ast.AST, message: str) -> None:
+        rule = self._rules[rule_id]
+        line = getattr(node, "lineno", 0)
+        self.findings.append(Finding(
+            rule=rule_id, path=self.ctx.path, line=line, message=message,
+            source=self.ctx.source_line(line),
+            severity=rule.default_severity,
+            fix_hint=rule.default_fix_hint))
+
+    # -- per-class checks ----------------------------------------------------
+
+    def check_class(self, node: ast.ClassDef) -> None:
+        """Apply the mapping and forwarding rules to one class."""
+        methods = {stmt.name: stmt for stmt in node.body
+                   if isinstance(stmt, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef))}
+        to_mapping = methods.get("to_mapping")
+        from_mapping = methods.get("from_mapping")
+        is_dataclass = _is_dataclass_def(node)
+        local_fields = _dataclass_field_names(node) if is_dataclass else ()
+        if to_mapping is not None and from_mapping is not None \
+                and is_dataclass:
+            self._check_roundtrip(node, to_mapping, from_mapping,
+                                  local_fields)
+        if to_mapping is not None \
+                and isinstance(to_mapping, ast.FunctionDef):
+            self._check_emission(node, to_mapping, local_fields)
+        self._check_forwarding(node, methods)
+
+    def _check_roundtrip(self, cls: ast.ClassDef, to_fn: ast.stmt,
+                         from_fn: ast.stmt,
+                         fields_tuple: Tuple[str, ...]) -> None:
+        """Every field must appear on both sides of the round-trip."""
+        for direction, fn in (("emitted by to_mapping", to_fn),
+                              ("consumed by from_mapping", from_fn)):
+            if _iterates_all_fields(fn):
+                continue
+            mentioned = _string_constants(fn)
+            for field_name in fields_tuple:
+                if field_name not in mentioned:
+                    self._add("golden-roundtrip", fn,
+                              f"field '{field_name}' of {cls.name} is "
+                              f"never {direction}; it is silently "
+                              f"dropped on the mapping path")
+
+    def _check_emission(self, cls: ast.ClassDef, to_fn: ast.FunctionDef,
+                        fields_tuple: Tuple[str, ...]) -> None:
+        """The unconditional key set must match the pinned contract."""
+        unconditional, conditional = _emission_of(to_fn, fields_tuple)
+        pinned = GOLDEN_UNCONDITIONAL.get(cls.name)
+        if pinned is None:
+            for key in sorted(conditional):
+                self._add("golden-emit", to_fn,
+                          f"{cls.name}.to_mapping emits '{key}' "
+                          f"conditionally without a pinned golden "
+                          f"contract; absent-means-default emission "
+                          f"must be a reviewed GOLDEN_UNCONDITIONAL "
+                          f"entry")
+            return
+        for key in sorted(unconditional - pinned):
+            self._add("golden-emit", to_fn,
+                      f"{cls.name}.to_mapping unconditionally emits "
+                      f"'{key}', which is outside the pinned golden "
+                      f"contract; every committed golden digest "
+                      f"embedding this mapping would change")
+        for key in sorted(pinned - unconditional):
+            self._add("golden-emit", to_fn,
+                      f"pinned golden key '{key}' of {cls.name} is no "
+                      f"longer unconditionally emitted; committed "
+                      f"digests relying on it would change")
+
+    # -- forwarding ----------------------------------------------------------
+
+    def _check_forwarding(self, cls: ast.ClassDef,
+                          methods: Dict[str, ast.stmt]) -> None:
+        """Check every SystemOptions forwarding site in the class."""
+        attr_types: Dict[str, str] = {}
+        for stmt in cls.body:
+            if (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)):
+                tail = stmt.annotation
+                if isinstance(tail, ast.Name):
+                    attr_types[stmt.target.id] = tail.id
+                elif isinstance(tail, ast.Attribute):
+                    attr_types[stmt.target.id] = tail.attr
+        for fn in methods.values():
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call) \
+                        and _call_tail(node.func) == "SystemOptions":
+                    self._check_forward_call(node, attr_types)
+
+    def _check_forward_call(self, call: ast.Call,
+                            attr_types: Dict[str, str]) -> None:
+        """One SystemOptions(...) site forwarding spec attributes."""
+        if any(kw.arg is None for kw in call.keywords):
+            return  # **kwargs: opaque, nothing to prove
+        forwarded: Dict[str, Set[str]] = {}
+        for kw in call.keywords:
+            chain = _self_chain(kw.value)
+            if chain is not None:
+                forwarded.setdefault(chain[0], set()).add(chain[1])
+        if not forwarded:
+            return  # not a spec-forwarding site (defaults are fine)
+        passed = {kw.arg for kw in call.keywords}
+        sys_fields = self.project.dataclass_fields("SystemOptions") or ()
+        for field_name in sys_fields:
+            if field_name not in passed and field_name not in FORWARD_EXEMPT:
+                self._add("golden-forward", call,
+                          f"SystemOptions(...) does not forward "
+                          f"'{field_name}'; the spec-configured system "
+                          f"silently falls back to its default")
+        for attr, seen in sorted(forwarded.items()):
+            spec_cls = attr_types.get(attr)
+            if spec_cls is None:
+                continue
+            spec_fields = self.project.dataclass_fields(spec_cls)
+            if spec_fields is None:
+                continue
+            for field_name in spec_fields:
+                if field_name not in seen:
+                    self._add("golden-forward", call,
+                              f"field '{field_name}' of {spec_cls} "
+                              f"(self.{attr}) is never forwarded to "
+                              f"SystemOptions; the knob validates and "
+                              f"digests but never reaches the "
+                              f"simulator")

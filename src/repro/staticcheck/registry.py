@@ -39,7 +39,13 @@ class Rule:
 
 
 class Pass(Protocol):
-    """The plugin interface every analysis pass implements."""
+    """The plugin interface every analysis pass implements.
+
+    A pass may also carry an integer ``version`` class attribute
+    (default 1, read via :func:`pass_version`).  The incremental engine
+    keys cached findings on it, so bumping the version after a rule
+    change invalidates stale cached results everywhere at once.
+    """
 
     #: Unique pass name (``dimensional``, ``determinism``, ...).
     name: str
@@ -50,6 +56,11 @@ class Pass(Protocol):
             project: "ProjectContext") -> List[Finding]:
         """Analyse one module and return its findings."""
         ...  # pragma: no cover - protocol body
+
+
+def pass_version(pass_obj: Pass) -> int:
+    """The pass's declared cache version (1 when undeclared)."""
+    return int(getattr(pass_obj, "version", 1))
 
 
 #: Registered passes by name, in registration order.
@@ -115,12 +126,45 @@ def validate_rules(selected: Iterable[str]) -> Tuple[str, ...]:
     return chosen
 
 
+def expand_selection(selected: Iterable[str]) -> Tuple[str, ...]:
+    """Resolve a mixed rule-id / pass-name selection to rule ids.
+
+    ``--rule asyncsafety`` selects every rule the asyncsafety pass
+    owns; ``--rule async-unawaited`` selects exactly that rule.  A name
+    that is neither raises :class:`~repro.errors.ConfigError` listing
+    both namespaces.
+    """
+    _ensure_loaded()
+    known = all_rules()
+    expanded: List[str] = []
+    for item in selected:
+        if item in known:
+            expanded.append(item)
+        elif item in _PASSES:
+            expanded.extend(rule.id for rule in _PASSES[item].rules)
+        else:
+            raise ConfigError(
+                f"unknown rule or pass {item!r}; valid rules: "
+                f"{', '.join(known)}; valid passes: {', '.join(_PASSES)}")
+    return tuple(dict.fromkeys(expanded))
+
+
+def rule_owners() -> Dict[str, str]:
+    """Rule id -> owning pass name, for reporters and cache keys."""
+    _ensure_loaded()
+    return dict(_RULE_OWNERS)
+
+
 def passes_for(selected: Optional[Iterable[str]]) -> List[Pass]:
-    """The passes needed to evaluate ``selected`` rules (None = all)."""
+    """The passes needed to evaluate ``selected`` (None = all).
+
+    ``selected`` may mix rule ids and pass names; see
+    :func:`expand_selection`.
+    """
     _ensure_loaded()
     if selected is None:
         return all_passes()
-    wanted = set(validate_rules(selected))
+    wanted = set(expand_selection(selected))
     chosen: List[Pass] = []
     for pass_obj in _PASSES.values():
         if any(rule.id in wanted for rule in pass_obj.rules):

@@ -12,8 +12,9 @@ import hashlib
 import json
 from typing import Any, Dict
 
+from repro.staticcheck.baseline import describe_stale_entry, refresh_command
 from repro.staticcheck.model import Report
-from repro.staticcheck.registry import all_rules
+from repro.staticcheck.registry import all_rules, rule_owners
 
 #: The schema URI GitHub's SARIF ingestion validates against.
 SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
@@ -30,7 +31,12 @@ def render_text(report: Report, verbose: bool = False) -> str:
     for waiver in report.unused_waivers:
         lines.append(f"warning: unused waiver '{waiver.render()}'")
     for entry in report.unused_baseline:
-        lines.append(f"error: stale baseline entry '{entry}'")
+        lines.append(
+            f"error: stale baseline entry: {describe_stale_entry(entry)}")
+    if report.unused_baseline:
+        lines.append(
+            f"hint: delete the stale entries, or re-record the baseline "
+            f"with: {refresh_command(report.roots, report.baseline_path)}")
     counts = report.counts_by_rule()
     summary = (", ".join(f"{rule}: {count}" for rule, count in counts.items())
                if counts else "clean")
@@ -62,6 +68,14 @@ def to_json(report: Report) -> Dict[str, Any]:
         "baselined": [finding_dict(f) for f in report.baselined],
         "unused_waivers": [w.render() for w in report.unused_waivers],
         "unused_baseline": list(report.unused_baseline),
+        "timings": [
+            {"pass": t.pass_name, "wall_ms": t.wall_ms,
+             "modules": t.modules, "findings": t.findings}
+            for t in report.timings
+        ],
+        "cache": None if report.cache is None else report.cache.as_dict(),
+        "baseline_path": report.baseline_path,
+        "changed_only": report.changed_only,
         "ok": report.ok,
     }
 
@@ -75,7 +89,15 @@ def _fingerprint(finding) -> str:
 
 
 def to_sarif(report: Report) -> Dict[str, Any]:
-    """SARIF 2.1.0 log of the report's live findings."""
+    """SARIF 2.1.0 log of the report's live findings.
+
+    Beyond the code-scanning core (driver + rules + results), the run
+    carries an ``invocations`` record with ``executionSuccessful`` and
+    property bags: run-level cache/timing statistics, plus a per-rule
+    bag naming the owning pass and its wall-clock share.
+    """
+    owners = rule_owners()
+    pass_wall_ms = {t.pass_name: t.wall_ms for t in report.timings}
     rules_meta = [
         {
             "id": rule.id,
@@ -85,6 +107,10 @@ def to_sarif(report: Report) -> Dict[str, Any]:
             },
             **({"help": {"text": rule.default_fix_hint}}
                if rule.default_fix_hint else {}),
+            "properties": {
+                "pass": owners.get(rule.id, ""),
+                "passWallMs": pass_wall_ms.get(owners.get(rule.id, ""), 0.0),
+            },
         }
         for rule in all_rules().values()
     ]
@@ -127,10 +153,24 @@ def to_sarif(report: Report) -> Dict[str, Any]:
                     "rules": rules_meta,
                 },
             },
+            "invocations": [{
+                "executionSuccessful": report.ok,
+            }],
             "results": results,
             "originalUriBaseIds": {
                 "SRCROOT": {"description": {
                     "text": "repository source root (src/)"}},
+            },
+            "properties": {
+                "filesAnalyzed": report.files_analyzed,
+                "changedOnly": report.changed_only,
+                "cache": (None if report.cache is None
+                          else report.cache.as_dict()),
+                "timings": [
+                    {"pass": t.pass_name, "wallMs": t.wall_ms,
+                     "modules": t.modules, "findings": t.findings}
+                    for t in report.timings
+                ],
             },
         }],
     }

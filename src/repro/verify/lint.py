@@ -15,9 +15,10 @@ hygiene — is available through ``python -m repro.staticcheck``.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.staticcheck.model import Finding, Waiver  # noqa: F401 (re-export)
 from repro.staticcheck.passes.determinism import (  # noqa: F401 (re-export)
@@ -87,3 +88,41 @@ def lint_paths(root: Optional[Path] = None,
     report = analyze_paths(paths=roots, rules=RULES, waivers=waivers)
     return LintReport(findings=report.findings, waived=report.waived,
                       unused_waivers=report.unused_waivers)
+
+
+#: Incremental-engine flags the legacy shim deliberately refuses — the
+#: cache, pool and changed-module selection live in the framework CLI.
+_UNSUPPORTED_FLAGS: Tuple[str, ...] = (
+    "--changed", "--cache", "--cache-dir", "--jobs", "--stats-json",
+)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Minimal legacy CLI: lint the default tree, print, exit 0/1.
+
+    The incremental flags (``--changed``, ``--cache-dir``, ``--jobs``,
+    ...) are rejected with a pointer to ``python -m repro.staticcheck``
+    rather than silently ignored: the shim always re-analyses the full
+    legacy rule set, so accepting those flags would lie about what ran.
+    """
+    args = list(sys.argv[1:] if argv is None else argv)
+    for arg in args:
+        flag = arg.split("=", 1)[0]
+        if flag in _UNSUPPORTED_FLAGS:
+            print(f"repro.verify.lint: {flag} is not supported by the "
+                  f"legacy shim; use 'python -m repro.staticcheck' for "
+                  f"incremental/parallel analysis", file=sys.stderr)
+            return 2
+    if args:
+        print(f"repro.verify.lint: unexpected argument(s) "
+              f"{' '.join(args)}; the shim lints the installed tree "
+              f"with the legacy rules only (see python -m "
+              f"repro.staticcheck --help)", file=sys.stderr)
+        return 2
+    report = lint_paths()
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,7 +38,8 @@ class TestRegistry:
     def test_builtin_passes_registered(self):
         names = {p.name for p in all_passes()}
         assert names == {"dimensional", "determinism", "poolsafety",
-                         "hygiene", "kernelsafety"}
+                         "hygiene", "kernelsafety", "asyncsafety",
+                         "goldenflow"}
 
     def test_every_rule_has_unique_owner(self):
         ids = rule_ids()
@@ -82,6 +83,76 @@ class TestWaiverIntegration:
         report = analyze_paths(paths=[src], waivers=waivers)
         assert len(report.unused_waivers) == 1
         assert "unused waiver" in render_text(report)
+
+
+class TestWaiverGrammarEdgeCases:
+    """The corners of the ``rule path-glob [substring]`` grammar."""
+
+    def test_second_rule_id_on_a_line_becomes_the_path_glob(self):
+        """One line waives ONE rule; a second id is read as the glob."""
+        waivers = parse_waivers("float-eq unit-mix\n")
+        assert len(waivers) == 1
+        assert waivers[0].rule == "float-eq"
+        assert waivers[0].path_glob == "unit-mix"
+        finding = Finding(rule="unit-mix", path="repro/core/mod.py",
+                          line=1, message="m", source="s")
+        assert not waivers[0].matches(finding)
+
+    def test_substring_keeps_internal_whitespace(self):
+        waivers = parse_waivers(
+            "float-eq repro/x.py if times and t == times[-1]\n")
+        assert waivers[0].substring == "if times and t == times[-1]"
+
+    def test_unknown_rule_is_a_config_error(self):
+        with pytest.raises(ConfigError, match="unknown rule"):
+            parse_waivers("no-such-rule repro/x.py\n")
+
+    def test_single_field_line_is_a_config_error(self):
+        with pytest.raises(ConfigError, match="expected 'rule"):
+            parse_waivers("float-eq\n")
+
+    def test_waiver_on_a_multi_finding_line_is_rule_scoped(self, tmp_path):
+        """Two rules fire on one line; waiving one leaves the other."""
+        src = tmp_path / "example_mod.py"
+        src.write_text(textwrap.dedent('''
+            """Doc."""
+
+
+            def check(vcc_v: float, vdd_v: float,
+                      idle_ns: float, close_us: float) -> bool:
+                """Doc."""
+                return vcc_v == vdd_v or idle_ns > close_us
+        '''), encoding="utf-8")
+        waivers = parse_waivers("float-eq example_mod.py\n")
+        report = analyze_paths(paths=[src], waivers=waivers,
+                               rules=["float-eq", "unit-compare"])
+        assert [f.rule for f in report.findings] == ["unit-compare"]
+        assert [f.rule for f in report.waived] == ["float-eq"]
+        assert report.findings[0].line == report.waived[0].line
+        assert report.unused_waivers == []
+
+    def test_never_matching_waiver_is_reported_unused(self, tmp_path):
+        src = tmp_path / "bad_mod.py"
+        src.write_text(BAD_MODULE, encoding="utf-8")
+        # Right rule, right file, but a substring that appears nowhere.
+        waivers = parse_waivers(
+            "unit-mix bad_mod.py no_such_source_fragment\n")
+        report = analyze_paths(paths=[src], rules=["unit-mix"],
+                               waivers=waivers)
+        assert [f.rule for f in report.findings] == ["unit-mix"]
+        assert report.waived == []
+        assert len(report.unused_waivers) == 1
+
+    def test_committed_waiver_file_round_trips(self):
+        """parse → render → reparse of tests/lint_waivers.txt is stable."""
+        from repro.staticcheck.waivers import default_waivers_path
+
+        path = default_waivers_path()
+        assert path is not None, "tests/lint_waivers.txt missing"
+        first = parse_waivers(path.read_text(encoding="utf-8"))
+        assert first, "committed waiver file should not be empty"
+        rendered = "\n".join(w.render() for w in first) + "\n"
+        assert parse_waivers(rendered) == first
 
 
 class TestBaseline:

@@ -80,3 +80,81 @@ class TestSeededMutations:
                 findings = unit_findings(
                     path.read_text(encoding="utf-8"), rel)
                 assert findings == [], [f.render() for f in findings]
+
+
+def flow_findings(source, path):
+    """Async-safety plus golden-flow findings for one source text."""
+    return analyze_source(source, path, rules=["asyncsafety", "goldenflow"])
+
+
+FLOW_CASES = [
+    pytest.param(
+        "service/scheduler.py",
+        "for job in list(self._jobs.values()):\n"
+        "                await job.wait()",
+        "for job in list(self._jobs.values()):\n"
+        "                job.wait()",
+        "async-unawaited",
+        id="scheduler-stop-forgot-await",
+    ),
+    pytest.param(
+        "scenarios/spec.py",
+        '        mapping = {f.name: getattr(self, f.name) '
+        'for f in fields(self)}\n'
+        '        if not mapping["turbo_license_limit"]:\n'
+        '            del mapping["turbo_license_limit"]\n'
+        '        return mapping',
+        '        mapping = {f.name: getattr(self, f.name) '
+        'for f in fields(self)}\n'
+        '        return mapping',
+        "golden-emit",
+        id="optionsspec-unconditional-turbo-key",
+    ),
+    pytest.param(
+        "scenarios/spec.py",
+        'return {"queue_depth": self.queue_depth,\n'
+        '                "grant_policy": self.grant_policy}',
+        'return {"queue_depth": self.queue_depth}',
+        "golden-roundtrip",
+        id="pmuspec-dropped-mapping-key",
+    ),
+    pytest.param(
+        "scenarios/spec.py",
+        "            turbo_license_limit=self.options.turbo_license_limit,\n",
+        "",
+        "golden-forward",
+        id="scenariospec-dropped-forwarding-kwarg",
+    ),
+]
+
+
+class TestFlowMutations:
+    """Async-safety and golden-flow rules catch the bugs they exist for.
+
+    Same discipline as the dimensional cases: the *committed* modules
+    analyse clean, and reintroducing the exact regression each rule
+    guards against (a dropped ``await``, an unconditionally emitted
+    mapping key, a silently dropped forwarding kwarg) is flagged.
+    """
+
+    @pytest.mark.parametrize("rel, before, after, expected_rule", FLOW_CASES)
+    def test_original_is_clean(self, rel, before, after, expected_rule):
+        findings = flow_findings(real_source(rel), f"repro/{rel}")
+        assert findings == [], [f.render() for f in findings]
+
+    @pytest.mark.parametrize("rel, before, after, expected_rule", FLOW_CASES)
+    def test_mutant_is_caught(self, rel, before, after, expected_rule):
+        mutant = mutate(real_source(rel), before, after)
+        findings = flow_findings(mutant, f"repro/{rel}")
+        assert expected_rule in {f.rule for f in findings}, \
+            [f.render() for f in findings]
+
+    def test_pmuspec_dropped_key_also_breaks_the_pinned_contract(self):
+        """The dropped PMUSpec key trips the digest-stability rule too."""
+        mutant = mutate(
+            real_source("scenarios/spec.py"),
+            'return {"queue_depth": self.queue_depth,\n'
+            '                "grant_policy": self.grant_policy}',
+            'return {"queue_depth": self.queue_depth}')
+        rules = {f.rule for f in flow_findings(mutant, "repro/scenarios/spec.py")}
+        assert "golden-emit" in rules

@@ -184,6 +184,52 @@ class TestSarifStructure:
         assert log["runs"][0]["results"] == []
 
 
+class TestSarifInvocationAndTiming:
+    """Execution status + per-pass timing surfaced for CI dashboards."""
+
+    def _cached_log(self, tmp_path):
+        from repro.staticcheck import analyze_paths
+
+        src = tmp_path / "bad_mod.py"
+        src.write_text(BAD_MODULE, encoding="utf-8")
+        report = analyze_paths(paths=[src], waivers=[],
+                               cache_dir=tmp_path / "cache")
+        return to_sarif(report)
+
+    def test_invocation_reports_execution_success(self):
+        failing = sarif_of(BAD_MODULE)
+        assert failing["runs"][0]["invocations"][0][
+            "executionSuccessful"] is False
+        clean = to_sarif(Report(files_analyzed=3))
+        assert clean["runs"][0]["invocations"][0][
+            "executionSuccessful"] is True
+
+    def test_run_properties_carry_cache_and_timings(self, tmp_path):
+        run = self._cached_log(tmp_path)["runs"][0]
+        properties = run["properties"]
+        assert properties["filesAnalyzed"] == 1
+        assert properties["changedOnly"] is False
+        assert properties["cache"]["misses"] > 0
+        timing_passes = {t["pass"] for t in properties["timings"]}
+        assert {"dimensional", "determinism", "asyncsafety",
+                "goldenflow"} <= timing_passes
+        for timing in properties["timings"]:
+            assert timing["wallMs"] >= 0.0
+            assert timing["modules"] >= 0
+
+    def test_rules_carry_owning_pass_and_wall_time(self, tmp_path):
+        run = self._cached_log(tmp_path)["runs"][0]
+        by_id = {r["id"]: r for r in run["tool"]["driver"]["rules"]}
+        assert by_id["unit-mix"]["properties"]["pass"] == "dimensional"
+        assert by_id["heap-tiebreak"]["properties"]["pass"] == "determinism"
+        for rule in by_id.values():
+            assert rule["properties"]["passWallMs"] >= 0.0
+
+    def test_enriched_log_still_validates(self, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        jsonschema.validate(self._cached_log(tmp_path), SARIF_SUBSET_SCHEMA)
+
+
 class TestSarifSchema:
     def test_validates_against_sarif_subset_schema(self):
         jsonschema = pytest.importorskip("jsonschema")
